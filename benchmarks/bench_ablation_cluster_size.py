@@ -1,0 +1,30 @@
+"""Ablation A1: effect of the HORPART maximum-cluster-size bound.
+
+Not a figure of the paper, but DESIGN.md calls it out: the cluster-size
+bound is the knob that trades anonymization cost against the room VERPART
+has to keep terms in record chunks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_ablation_cluster_size(benchmark, bench_config):
+    rows = run_once(benchmark, ablations.run_cluster_size_ablation, bench_config)
+    emit(
+        "Ablation A1: information loss and runtime vs max_cluster_size (POS proxy)",
+        rows,
+        "expectation: larger clusters cost more time per cluster but give VERPART "
+        "more support to work with (tlost / re-a do not increase).",
+    )
+    assert [row["max_cluster_size"] for row in rows] == sorted(
+        row["max_cluster_size"] for row in rows
+    )
+    smallest, largest = rows[0], rows[-1]
+    # larger clusters keep at least as many frequent terms in record chunks
+    assert largest["tlost"] <= smallest["tlost"] + 0.1
+    for row in rows:
+        assert 0.0 <= row["tkd"] <= 1.0

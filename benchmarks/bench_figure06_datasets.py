@@ -1,0 +1,65 @@
+"""Figure 6 (table): characteristics of the experimental datasets.
+
+Regenerates the dataset-statistics table for the three real-dataset proxies
+at benchmark scale and checks they match the published shape (domain size,
+record-length distribution), plus the default synthetic workload.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.quest import generate_quest
+from repro.datasets.real_proxies import PROFILES, load_proxy
+
+from benchmarks.conftest import emit, run_once
+
+
+def _collect_rows(config):
+    rows = []
+    for name in config.datasets:
+        dataset = load_proxy(
+            name, scale=config.scale, seed=config.seed, domain_scale=config.domain_scale
+        )
+        stats = dataset.stats()
+        profile = PROFILES[name]
+        rows.append(
+            {
+                "dataset": name,
+                "records": stats.num_records,
+                "domain": stats.domain_size,
+                "max_rec": stats.max_record_size,
+                "avg_rec": stats.avg_record_size,
+                "paper_records": profile.num_records,
+                "paper_domain": profile.domain_size,
+                "paper_avg_rec": profile.avg_record_size,
+            }
+        )
+    synthetic = generate_quest(num_transactions=4000, domain_size=1000, seed=config.seed)
+    stats = synthetic.stats()
+    rows.append(
+        {
+            "dataset": "QUEST",
+            "records": stats.num_records,
+            "domain": stats.domain_size,
+            "max_rec": stats.max_record_size,
+            "avg_rec": stats.avg_record_size,
+            "paper_records": 1_000_000,
+            "paper_domain": 5_000,
+            "paper_avg_rec": 10.0,
+        }
+    )
+    return rows
+
+
+def test_figure06_dataset_table(benchmark, bench_config):
+    rows = run_once(benchmark, _collect_rows, bench_config)
+    emit(
+        "Figure 6: dataset characteristics (scaled proxies)",
+        rows,
+        "POS is the largest and densest (|D|/|T| highest), WV1 has the shortest "
+        "records, WV2 has the largest domain relative to its size.",
+    )
+    for row in rows[:3]:
+        profile = PROFILES[row["dataset"]]
+        assert row["avg_rec"] <= profile.max_record_size
+        # the proxies keep the record-length regime of the originals
+        assert 0.4 * profile.avg_record_size <= row["avg_rec"] <= 2.0 * profile.avg_record_size

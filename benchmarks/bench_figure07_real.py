@@ -1,0 +1,62 @@
+"""Figure 7: information loss of disassociation on the real-dataset proxies.
+
+Benchmarks 7a-7d; each prints the regenerated series and asserts the
+qualitative shape the paper reports (not the absolute values — the datasets
+are synthetic proxies at reduced scale).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure07
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_figure07a_information_loss_per_dataset(benchmark, bench_config):
+    rows = run_once(benchmark, figure07.run_fig7a, bench_config)
+    emit(
+        "Figure 7a: tKd-a / tKd / re-a / re / tlost (k=5, m=2)",
+        rows,
+        figure07.paper_reference("7a"),
+    )
+    for row in rows:
+        # reconstructing across chunks recovers most top-K itemsets
+        assert row["tkd"] <= row["tkd_a"] + 0.05
+        assert row["tkd"] <= 0.5
+    pos = next(row for row in rows if row["dataset"] == "POS")
+    # POS has the highest |D|/|T| ratio: reconstruction sharply improves re
+    assert pos["re"] <= pos["re_a"]
+
+
+def test_figure07b_tkd_vs_k(benchmark, bench_config):
+    rows = run_once(benchmark, figure07.run_fig7b, bench_config)
+    emit("Figure 7b: tKd-a / tKd vs k (POS)", rows, figure07.paper_reference("7b"))
+    # the metrics based on the most frequent itemsets are only mildly affected by k
+    first, last = rows[0], rows[-1]
+    assert last["tkd"] <= first["tkd"] + 0.3
+    assert all(0.0 <= row["tkd_a"] <= 1.0 for row in rows)
+
+
+def test_figure07c_re_and_tlost_vs_k(benchmark, bench_config):
+    rows = run_once(benchmark, figure07.run_fig7c, bench_config)
+    emit("Figure 7c: re-a / re / tlost vs k (POS)", rows, figure07.paper_reference("7c"))
+    first, last = rows[0], rows[-1]
+    # information loss grows with k, but does not explode
+    assert last["re"] >= first["re"] - 0.1
+    assert last["tlost"] >= first["tlost"] - 0.05
+
+
+def test_figure07d_re_vs_term_frequency_and_reconstructions(benchmark, bench_config):
+    rows = run_once(benchmark, figure07.run_fig7d, bench_config)
+    emit(
+        "Figure 7d: re vs term-frequency range, 1/2/5/10 reconstructions (POS)",
+        rows,
+        figure07.paper_reference("7d"),
+    )
+    assert rows
+    most_frequent = rows[0]
+    # the most frequent terms are reported accurately regardless of averaging
+    assert most_frequent["re_r1"] <= 0.6
+    for row in rows:
+        for count in (1, 2, 5, 10):
+            assert 0.0 <= row[f"re_r{count}"] <= 2.0

@@ -1,0 +1,48 @@
+"""Figure 8: information loss of disassociation on synthetic (Quest) data."""
+
+from __future__ import annotations
+
+from repro.experiments import figure08
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_figure08a_08b_dataset_size_sweep(benchmark, bench_config):
+    rows = run_once(benchmark, figure08.run_fig8a_8b, bench_config)
+    emit(
+        "Figure 8a/8b: metrics vs dataset size (synthetic)",
+        rows,
+        "paper: dataset size has little effect because anonymization is per-cluster; "
+        "re improves slightly as terms become more frequent.",
+    )
+    tkds = [row["tkd"] for row in rows]
+    # dataset size does not blow up the loss of top-K itemsets
+    assert max(tkds) - min(tkds) <= 0.3
+    # re does not get worse as the dataset grows
+    assert rows[-1]["re"] <= rows[0]["re"] + 0.3
+
+
+def test_figure08c_domain_size_sweep(benchmark, bench_config):
+    rows = run_once(benchmark, figure08.run_fig8c, bench_config)
+    emit(
+        "Figure 8c: metrics vs domain size (synthetic)",
+        rows,
+        "paper: a larger (more skewed) domain mostly affects the distribution tail; "
+        "tKd stays flat, re slightly deteriorates.",
+    )
+    tkds = [row["tkd"] for row in rows]
+    assert max(tkds) - min(tkds) <= 0.3
+    assert rows[-1]["re"] >= rows[0]["re"] - 0.3
+
+
+def test_figure08d_record_length_sweep(benchmark, bench_config):
+    rows = run_once(benchmark, figure08.run_fig8d, bench_config)
+    emit(
+        "Figure 8d: metrics vs average record length (synthetic)",
+        rows,
+        "paper: longer records increase tKd-a and tlost (more chunks, more rare "
+        "combinations) but improve re (higher term supports); tKd stays near 0.",
+    )
+    assert rows[-1]["tkd"] <= 0.5
+    # longer records make terms more frequent, improving the pair-support estimates
+    assert rows[-1]["re"] <= rows[0]["re"] + 0.2

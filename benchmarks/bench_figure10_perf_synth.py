@@ -1,0 +1,37 @@
+"""Figure 10: anonymization cost on synthetic data (scaling shape)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure10
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_figure10a_time_vs_dataset_size(benchmark, bench_config):
+    rows = run_once(benchmark, figure10.run_fig10a, bench_config)
+    emit(
+        "Figure 10a: anonymization time vs dataset size (synthetic)",
+        rows,
+        "paper: time grows linearly with the number of records.",
+    )
+    # cost grows with size...
+    assert rows[-1]["seconds"] >= rows[0]["seconds"]
+    # ...and stays near-linear: per-record cost at the largest size is within
+    # a small factor of the per-record cost at the smallest size
+    ratio = figure10.linearity_ratio(rows, "records")
+    assert ratio <= 4.0
+
+
+def test_figure10b_time_vs_domain_size(benchmark, bench_config):
+    rows = run_once(benchmark, figure10.run_fig10b, bench_config)
+    emit(
+        "Figure 10b: anonymization time vs domain size (synthetic)",
+        rows,
+        "paper: time scales gently (sub-linearly) with the domain size.",
+    )
+    times = [row["seconds"] for row in rows]
+    domains = [row["domain"] for row in rows]
+    # going from the smallest to the largest domain must not blow up the cost
+    # by more than the domain growth factor itself
+    growth = domains[-1] / domains[0]
+    assert times[-1] <= max(times[0], 1e-3) * growth * 2.0

@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures at laptop
+scale and prints the series next to a short note of the paper's reported
+shape, so EXPERIMENTS.md can be refreshed from ``pytest benchmarks/
+--benchmark-only`` output.  Each benchmark runs its experiment exactly once
+(``benchmark.pedantic(rounds=1, iterations=1)``): the interesting quantity
+is the experiment output, not micro-timing stability.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import BENCH_CONFIG, ExperimentConfig, format_table
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The configuration shared by all figure benchmarks."""
+    return BENCH_CONFIG
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+#: Series emitted during the run; flushed into the terminal summary (so they
+#: appear in ``pytest benchmarks/ --benchmark-only`` output even without
+#: ``-s``) and into ``benchmarks/figure_series.txt``.
+_EMITTED: list[str] = []
+
+
+def emit(title: str, rows, paper_note: str) -> None:
+    """Record a regenerated series next to the paper's reported shape."""
+    text = "\n".join(
+        [f"=== {title} ===", format_table(rows), f"paper shape: {paper_note}"]
+    )
+    print("\n" + text)
+    _EMITTED.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Write every regenerated series into the (uncaptured) terminal report."""
+    if not _EMITTED:
+        return
+    terminalreporter.section("regenerated paper figures")
+    for block in _EMITTED:
+        terminalreporter.write_line(block)
+        terminalreporter.write_line("")
+    results_path = Path(__file__).parent / "figure_series.txt"
+    results_path.write_text("\n\n".join(_EMITTED) + "\n", encoding="utf-8")
+    terminalreporter.write_line(f"(series also written to {results_path})")

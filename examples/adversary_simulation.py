@@ -1,0 +1,49 @@
+"""Scenario: quantifying identity-disclosure risk before and after release.
+
+A data owner wants to justify the anonymization to a privacy officer: how
+many users could an adversary with m-term background knowledge single out if
+the raw log were released, and how does that change after disassociation?
+This example runs the attack model of Section 2 of the paper on a synthetic
+click-stream and prints the before/after comparison.
+
+Run with::
+
+    python examples/adversary_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro import anonymize
+from repro.analysis.attack import published_candidates, simulate_attack, vulnerable_combinations
+from repro.datasets.real_proxies import load_proxy
+
+
+def main() -> None:
+    clicks = load_proxy("WV2", scale=0.003, seed=13, domain_scale=0.1)
+    print(f"click-stream log: {clicks.stats().as_row()}")
+
+    k, m = 5, 2
+    published = anonymize(clicks, k=k, m=m, max_cluster_size=30)
+    report = simulate_attack(clicks, published)
+
+    print(f"\nattack model: adversary knows up to m={m} terms per user, k={k}")
+    print(f"  {report.summary()}\n")
+
+    # show a handful of concrete identifying combinations and their fate
+    examples = sorted(vulnerable_combinations(clicks, k, m).items(), key=lambda p: p[1])[:5]
+    print("examples of identifying background knowledge and their candidate sets:")
+    print(f"  {'background knowledge':45s} {'raw release':>12s} {'disassociated':>14s}")
+    for combo, support in examples:
+        candidates = published_candidates(published, combo)
+        after = "unreconstructable" if candidates == 0 else f"{candidates} candidates"
+        print(f"  {str(combo):45s} {support:12d} {after:>14s}")
+
+    print(
+        "\nevery combination that used to match fewer than k users now either cannot "
+        "be reconstructed at all or matches at least k candidate records — the "
+        "k^m-anonymity guarantee of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

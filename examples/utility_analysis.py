@@ -1,0 +1,71 @@
+"""Scenario: an analyst working directly with a disassociated publication.
+
+The paper (Section 6) describes three ways an analyst can use the published
+data: guaranteed lower bounds computed straight from the chunks, a
+probabilistic expectation model, and averaging query results over multiple
+reconstructed datasets.  This example runs all three on the same queries and
+compares them against the (normally unavailable) ground truth.
+
+Run with::
+
+    python examples/utility_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import AnonymizationParams, Disassociator
+from repro.analysis.estimation import SupportEstimator
+from repro.analysis.queries import rule_confidence
+from repro.core.reconstruct import Reconstructor
+from repro.datasets.quest import generate_quest
+
+
+def main() -> None:
+    # a synthetic market-basket dataset (Quest model, as in the paper's
+    # synthetic experiments)
+    original = generate_quest(
+        num_transactions=2_000, domain_size=400, avg_transaction_size=8, seed=21
+    )
+    print(f"original dataset: {original.stats().as_row()}")
+
+    published = Disassociator(AnonymizationParams(k=5, m=2, max_cluster_size=30)).anonymize(
+        original
+    )
+    estimator = SupportEstimator(published, seed=5)
+    reconstructor = Reconstructor(published, seed=5)
+
+    # --- support estimation ----------------------------------------------
+    probes = original.terms_by_support()[:6]
+    print("\nsupport estimates for the six most frequent items:")
+    print(f"  {'item':8s} {'truth':>6s} {'lower':>6s} {'expected':>9s} {'avg(5 worlds)':>14s}")
+    for item in probes:
+        truth = original.support({item})
+        lower = estimator.lower_bound({item})
+        expected = estimator.expected_support({item})
+        averaged = estimator.reconstructed_support({item}, reconstructions=5)
+        print(f"  {item:8s} {truth:6d} {lower:6d} {expected:9.1f} {averaged:14.1f}")
+
+    # --- pair supports: certainty vs estimation ---------------------------
+    a, b = probes[0], probes[1]
+    pair = {a, b}
+    print(f"\npair {sorted(pair)}:")
+    print(f"  ground truth support        {original.support(pair)}")
+    print(f"  guaranteed lower bound      {estimator.lower_bound(pair)}")
+    print(f"  probabilistic expectation   {estimator.expected_support(pair):.1f}")
+    print(f"  average over 5 worlds       {estimator.reconstructed_support(pair, 5):.1f}")
+
+    # --- association rules on reconstructed worlds ------------------------
+    print(f"\nconfidence of the rule {a} -> {b}:")
+    print(f"  on the original data        {rule_confidence(original, {a}, {b}):.2f}")
+    for index, world in enumerate(reconstructor.reconstruct_many(3)):
+        print(f"  on reconstructed world {index}   {rule_confidence(world, {a}, {b}):.2f}")
+
+    print(
+        "\ntakeaway: lower bounds are certain but conservative; the probabilistic "
+        "model and multi-world averaging trade certainty for accuracy — exactly the "
+        "options Section 6 of the paper lays out."
+    )
+
+
+if __name__ == "__main__":
+    main()

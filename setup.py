@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this shim exists so that
+``pip install -e .`` works in fully offline environments where the ``wheel``
+package (required by PEP-660 editable builds) is unavailable and pip falls
+back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""repro -- reproduction of "Privacy Preservation by Disassociation" (VLDB 2012).
+
+The package provides:
+
+* the **disassociation** anonymization transformation for sparse set-valued
+  data with a k^m-anonymity guarantee (:class:`Disassociator`),
+* **reconstruction** of plausible original datasets
+  (:class:`Reconstructor`),
+* the paper's **baselines** (generalization-based Apriori anonymization,
+  DiffPart differential privacy, global suppression) under
+  :mod:`repro.baselines`,
+* the **information-loss metrics** tKd, tKd-ML2, re and tlost under
+  :mod:`repro.metrics`,
+* **dataset generators** (IBM-Quest-style synthetic data and proxies for the
+  POS / WV1 / WV2 datasets) under :mod:`repro.datasets`, and
+* the **experiment harness** regenerating every figure of the paper under
+  :mod:`repro.experiments` (driven by the ``benchmarks/`` suite).
+
+Quickstart::
+
+    from repro import TransactionDataset, anonymize, reconstruct
+
+    data = TransactionDataset([
+        {"new york", "air tickets", "hotels"},
+        {"new york", "air tickets", "museums"},
+        ...
+    ])
+    published = anonymize(data, k=3, m=2)
+    sample_world = reconstruct(published, seed=0)
+"""
+
+from repro.core import (
+    AnonymizationParams,
+    AnonymizationReport,
+    AuditReport,
+    DisassociatedDataset,
+    Disassociator,
+    JointCluster,
+    RecordChunk,
+    Reconstructor,
+    SharedChunk,
+    SimpleCluster,
+    TermChunk,
+    TransactionDataset,
+    anonymize,
+    audit,
+    reconstruct,
+    verify_km_anonymity,
+)
+from repro.exceptions import (
+    AnonymityViolationError,
+    DatasetError,
+    DatasetFormatError,
+    HierarchyError,
+    MiningError,
+    ParameterError,
+    ReconstructionError,
+    ReproError,
+    RefinementError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnonymizationParams",
+    "AnonymizationReport",
+    "AnonymityViolationError",
+    "AuditReport",
+    "DatasetError",
+    "DatasetFormatError",
+    "DisassociatedDataset",
+    "Disassociator",
+    "HierarchyError",
+    "JointCluster",
+    "MiningError",
+    "ParameterError",
+    "ReconstructionError",
+    "RecordChunk",
+    "Reconstructor",
+    "RefinementError",
+    "ReproError",
+    "SharedChunk",
+    "SimpleCluster",
+    "TermChunk",
+    "TransactionDataset",
+    "anonymize",
+    "audit",
+    "reconstruct",
+    "verify_km_anonymity",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Analysis toolkit for disassociated publications.
+
+* :mod:`repro.analysis.estimation` -- lower-bound, probabilistic and
+  reconstruction-based support estimation.
+* :mod:`repro.analysis.queries` -- analyst-facing query helpers used by the
+  examples and the experiments.
+* :mod:`repro.analysis.attack` -- adversary simulation (identity-disclosure
+  risk before and after publication).
+"""
+
+from repro.analysis.attack import (
+    AttackReport,
+    original_risk,
+    published_candidates,
+    published_risk,
+    simulate_attack,
+    vulnerable_combinations,
+)
+from repro.analysis.estimation import SupportEstimator
+from repro.analysis.queries import (
+    containment_ratio,
+    cooccurrence_count,
+    frequent_pairs,
+    rule_confidence,
+    top_terms,
+)
+
+__all__ = [
+    "AttackReport",
+    "SupportEstimator",
+    "containment_ratio",
+    "cooccurrence_count",
+    "frequent_pairs",
+    "original_risk",
+    "published_candidates",
+    "published_risk",
+    "rule_confidence",
+    "simulate_attack",
+    "top_terms",
+    "vulnerable_combinations",
+]

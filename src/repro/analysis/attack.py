@@ -1,0 +1,189 @@
+"""Adversary simulation: identity-disclosure risk before and after publishing.
+
+Section 2 of the paper defines the attack model: an adversary knows up to
+``m`` terms of a target's record and tries to locate that record in the
+published data.  This module operationalizes the model so users can *measure*
+the risk reduction disassociation buys on their own data:
+
+* :func:`original_risk` — on the raw dataset, the fraction of records that
+  contain at least one combination of up to ``m`` terms matching fewer than
+  ``k`` records (i.e. records an adversary could pin down).
+* :func:`published_candidates` — for one piece of background knowledge, how
+  many candidate records the published (disassociated) data still admits,
+  following the reconstruction semantics of Lemma 1: the combination is
+  either unobservable (any record of a covering cluster could hold it) or
+  reconstructable at least ``k`` times.
+* :func:`published_risk` — sweeps the actually-occurring combinations of the
+  original records and reports how many would still identify fewer than
+  ``k`` candidates in the published data (0 for a correct publication).
+* :class:`AttackReport` — the summary returned by :func:`simulate_attack`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.anonymity import validate_km_parameters
+from repro.core.clusters import Cluster, DisassociatedDataset, JointCluster
+from repro.core.dataset import TransactionDataset
+from repro.mining.itemsets import itemset_supports
+
+
+# --------------------------------------------------------------------------- #
+# risk on the raw (unprotected) dataset
+# --------------------------------------------------------------------------- #
+def vulnerable_combinations(dataset: TransactionDataset, k: int, m: int) -> dict:
+    """All combinations of up to ``m`` terms with support below ``k``.
+
+    These are exactly the pieces of background knowledge that would let an
+    adversary narrow a target down to fewer than ``k`` records if the data
+    were published unprotected.
+    """
+    validate_km_parameters(k, m)
+    counts = itemset_supports(dataset, max_size=m)
+    return {itemset: support for itemset, support in counts.items() if support < k}
+
+
+def original_risk(dataset: TransactionDataset, k: int, m: int) -> float:
+    """Fraction of records containing at least one identifying combination."""
+    vulnerable = vulnerable_combinations(dataset, k, m)
+    if not vulnerable or len(dataset) == 0:
+        return 0.0
+    at_risk = 0
+    for record in dataset:
+        exposed = False
+        terms = sorted(record)
+        for size in range(1, min(m, len(terms)) + 1):
+            for combo in combinations(terms, size):
+                if combo in vulnerable:
+                    exposed = True
+                    break
+            if exposed:
+                break
+        at_risk += int(exposed)
+    return at_risk / len(dataset)
+
+
+# --------------------------------------------------------------------------- #
+# risk on the published (disassociated) dataset
+# --------------------------------------------------------------------------- #
+def _cluster_candidates(cluster: Cluster, background: frozenset) -> int:
+    """Candidate records for ``background`` within one published cluster.
+
+    Following Lemma 1 / Lemma 3: split the background terms over the
+    cluster's record and shared chunks; terms falling in term chunks impose
+    no constraint (any record may hold them).  If some chunk shows the terms
+    it owns never co-occurring, no record of this cluster can match;
+    otherwise the adversary can reconstruct at least ``min_i count_i``
+    matching records, bounded by the cluster size.
+    """
+    size = cluster.size
+    domain = cluster.domain()
+    if not background <= domain:
+        return 0
+
+    if isinstance(cluster, JointCluster):
+        chunks = list(cluster.iter_shared_chunks())
+        for leaf in cluster.leaves():
+            chunks.extend(leaf.record_chunks)
+    else:
+        chunks = list(cluster.record_chunks)
+
+    candidates = size
+    for chunk in chunks:
+        part = background & chunk.domain
+        if not part:
+            continue
+        matching = sum(1 for subrecord in chunk.subrecords if part <= subrecord)
+        if matching == 0:
+            return 0
+        candidates = min(candidates, matching)
+    return candidates
+
+
+def published_candidates(published: DisassociatedDataset, background: Iterable) -> int:
+    """Total candidate records the published data admits for ``background``.
+
+    A value of 0 means the combination cannot be reconstructed anywhere (the
+    adversary learns only that it did not exist, which is permitted by
+    k^m-anonymity); any positive value is at least ``k`` for a correct
+    publication.
+    """
+    terms = frozenset(str(t) for t in background)
+    return sum(_cluster_candidates(cluster, terms) for cluster in published.clusters)
+
+
+def published_risk(
+    original: TransactionDataset, published: DisassociatedDataset, m: int = None
+) -> float:
+    """Fraction of occurring combinations still identifying < k candidates.
+
+    Sweeps every combination of up to ``m`` terms that occurs in some
+    original record and checks the candidate count the published data
+    admits.  For a correct disassociation this is 0.0 by construction; the
+    function exists so users can audit third-party publications and so the
+    tests can tie the attack model back to Guarantee 1.
+    """
+    m = published.m if m is None else m
+    k = published.k
+    validate_km_parameters(k, m)
+    counts = itemset_supports(original, max_size=m)
+    if not counts:
+        return 0.0
+    exposed = 0
+    for itemset in counts:
+        candidates = published_candidates(published, itemset)
+        if 0 < candidates < k:
+            exposed += 1
+    return exposed / len(counts)
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end simulation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AttackReport:
+    """Summary of one attack simulation.
+
+    Attributes:
+        k, m: the guarantee parameters used.
+        original_at_risk: fraction of original records exposed by at least
+            one identifying combination if published unprotected.
+        vulnerable_combinations: number of identifying combinations in the
+            raw data.
+        published_exposed_combinations: fraction of occurring combinations
+            that still pin down fewer than k candidates after disassociation
+            (0.0 for a correct publication).
+    """
+
+    k: int
+    m: int
+    original_at_risk: float
+    vulnerable_combinations: int
+    published_exposed_combinations: float
+
+    def summary(self) -> str:
+        """One-line human-readable comparison of the two releases."""
+        return (
+            f"unprotected release: {self.original_at_risk:.0%} of records identifiable "
+            f"via {self.vulnerable_combinations} rare combination(s); disassociated "
+            f"release: {self.published_exposed_combinations:.0%} of combinations still "
+            f"identifying (< k candidates)"
+        )
+
+
+def simulate_attack(
+    original: TransactionDataset, published: DisassociatedDataset, m: int = None
+) -> AttackReport:
+    """Run the full adversary simulation and return an :class:`AttackReport`."""
+    m = published.m if m is None else m
+    k = published.k
+    return AttackReport(
+        k=k,
+        m=m,
+        original_at_risk=original_risk(original, k, m),
+        vulnerable_combinations=len(vulnerable_combinations(original, k, m)),
+        published_exposed_combinations=published_risk(original, published, m),
+    )

@@ -1,0 +1,111 @@
+"""Support estimation on disassociated data (paper, Section 6).
+
+An analyst receiving a disassociated publication has three options:
+
+1. work on **guaranteed lower bounds** computed directly from the chunks
+   (an itemset contained in one record/shared chunk certainly existed that
+   many times; a term-chunk term certainly existed at least once),
+2. work on a **probabilistic model** where each record-chunk sub-record is
+   attributed to each of the cluster's records with probability
+   ``1/|P|`` (the paper's pointer to probabilistic databases), or
+3. work on one or more **reconstructed datasets** and average query
+   results.
+
+:class:`SupportEstimator` implements all three so the experiments (and
+users) can compare them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Optional
+
+from repro.core.clusters import DisassociatedDataset, JointCluster, SimpleCluster
+from repro.core.reconstruct import Reconstructor
+
+
+class SupportEstimator:
+    """Estimates itemset supports from a disassociated publication.
+
+    Args:
+        published: the disassociated dataset.
+        seed: seed used by reconstruction-based estimates.
+    """
+
+    def __init__(self, published: DisassociatedDataset, seed: Optional[int] = None):
+        self._published = published
+        self._seed = seed
+
+    # ------------------------------------------------------------------ #
+    def lower_bound(self, itemset: Iterable) -> int:
+        """Guaranteed lower bound of the itemset's original support."""
+        return self._published.lower_bound_support(itemset)
+
+    def expected_support(self, itemset: Iterable) -> float:
+        """Expected support under the independent-chunk probabilistic model.
+
+        Within each cluster the sub-records of different chunks are combined
+        independently and uniformly at random; the expected number of
+        records of a cluster of size ``s`` containing the full itemset is
+        ``s * prod_i (count_i / s)`` where ``count_i`` is the number of
+        sub-records of chunk ``i`` containing the part of the itemset that
+        falls in that chunk's domain.  Terms left in the term chunk
+        contribute their minimum possible support, ``1/s``.
+        """
+        items = frozenset(str(t) for t in itemset)
+        if not items:
+            return float(self._published.total_records())
+        total = 0.0
+        for cluster in self._published.clusters:
+            total += self._expected_in_cluster(cluster, items)
+        return total
+
+    def reconstructed_support(self, itemset: Iterable, reconstructions: int = 5) -> float:
+        """Average support over ``reconstructions`` random reconstructions."""
+        items = frozenset(str(t) for t in itemset)
+        reconstructor = Reconstructor(self._published, seed=self._seed)
+        counts = [
+            reconstructor.reconstruct().support(items) for _ in range(max(1, reconstructions))
+        ]
+        return sum(counts) / len(counts)
+
+    # ------------------------------------------------------------------ #
+    def _expected_in_cluster(self, cluster, items: frozenset) -> float:
+        if isinstance(cluster, JointCluster):
+            leaves = cluster.leaves()
+            chunks = list(cluster.iter_shared_chunks())
+            size = cluster.size
+            term_chunk_terms = cluster.term_chunk_terms()
+            # leaf record chunks participate too
+            for leaf in leaves:
+                chunks.extend(leaf.record_chunks)
+            domain = cluster.domain()
+        else:
+            leaf: SimpleCluster = cluster
+            chunks = list(leaf.record_chunks)
+            size = leaf.size
+            term_chunk_terms = frozenset(leaf.term_chunk.terms)
+            domain = leaf.domain()
+
+        if size == 0 or not items <= domain:
+            return 0.0
+
+        probability = 1.0
+        covered: set = set()
+        for chunk in chunks:
+            part = items & chunk.domain
+            if not part:
+                continue
+            covered.update(part)
+            matching = sum(1 for sr in chunk.subrecords if part <= sr)
+            probability *= matching / size
+            if probability == 0.0:
+                return 0.0
+        uncovered = items - covered
+        for term in uncovered:
+            if term in term_chunk_terms:
+                # the only certainty about a term-chunk term is one appearance
+                probability *= 1.0 / size
+            else:
+                return 0.0
+        return probability * size

@@ -1,0 +1,66 @@
+"""Analyst-facing query helpers over original or published data.
+
+Small, composable query operations used by the examples and the experiment
+harness: top terms, co-occurrence queries, record-containment counts and a
+simple association-rule confidence estimator.  Every function accepts either
+an original :class:`~repro.core.dataset.TransactionDataset` or a
+reconstruction, so analysts can run the same workload on both sides and
+compare answers (which is precisely what the paper's utility evaluation
+does).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Optional
+
+from repro.core.dataset import TransactionDataset
+from repro.mining.itemsets import itemset_supports
+
+
+def top_terms(dataset: TransactionDataset, count: int = 10) -> list[tuple[str, int]]:
+    """The ``count`` most frequent terms with their supports."""
+    supports = dataset.term_supports()
+    ordered = sorted(supports.items(), key=lambda pair: (-pair[1], pair[0]))
+    return ordered[:count]
+
+
+def cooccurrence_count(dataset: TransactionDataset, terms: Iterable) -> int:
+    """Number of records containing *all* the given terms."""
+    return dataset.support(terms)
+
+
+def containment_ratio(dataset: TransactionDataset, terms: Iterable) -> float:
+    """Fraction of records containing all the given terms."""
+    if len(dataset) == 0:
+        return 0.0
+    return dataset.support(terms) / len(dataset)
+
+
+def rule_confidence(
+    dataset: TransactionDataset, antecedent: Iterable, consequent: Iterable
+) -> Optional[float]:
+    """Confidence of the association rule ``antecedent -> consequent``.
+
+    Returns ``None`` when the antecedent never occurs (undefined confidence).
+    """
+    antecedent = frozenset(str(t) for t in antecedent)
+    consequent = frozenset(str(t) for t in consequent)
+    base = dataset.support(antecedent)
+    if base == 0:
+        return None
+    return dataset.support(antecedent | consequent) / base
+
+
+def frequent_pairs(
+    dataset: TransactionDataset, min_support: int
+) -> list[tuple[tuple, int]]:
+    """All term pairs with support at least ``min_support`` (most frequent first)."""
+    counts = itemset_supports(dataset, max_size=2)
+    pairs = [
+        (itemset, support)
+        for itemset, support in counts.items()
+        if len(itemset) == 2 and support >= min_support
+    ]
+    pairs.sort(key=lambda pair: (-pair[1], pair[0]))
+    return pairs

@@ -1,0 +1,33 @@
+"""Baseline anonymization methods the paper compares against.
+
+* :mod:`repro.baselines.apriori_anonymization` -- generalization-based
+  k^m-anonymity (Terrovitis et al. 2008), used in Figure 11b.
+* :mod:`repro.baselines.diffpart` -- DiffPart differential privacy for
+  set-valued data (Chen et al. 2011), used in Figures 11a and 11c.
+* :mod:`repro.baselines.suppression` -- greedy global suppression
+  (Burghardt et al. 2011 style), an additional comparator.
+"""
+
+from repro.baselines.apriori_anonymization import (
+    AprioriAnonymizer,
+    GeneralizedDataset,
+    anonymize_with_generalization,
+)
+from repro.baselines.diffpart import DiffPart, DiffPartResult, publish_with_diffpart
+from repro.baselines.suppression import (
+    GlobalSuppressor,
+    SuppressionResult,
+    anonymize_with_suppression,
+)
+
+__all__ = [
+    "AprioriAnonymizer",
+    "DiffPart",
+    "DiffPartResult",
+    "GeneralizedDataset",
+    "GlobalSuppressor",
+    "SuppressionResult",
+    "anonymize_with_generalization",
+    "anonymize_with_suppression",
+    "publish_with_diffpart",
+]

@@ -1,0 +1,187 @@
+"""DiffPart: differentially private publication of set-valued data.
+
+Re-implementation of the algorithm of Chen, Mohammed, Fung, Desai & Xiong,
+"Publishing set-valued data via differential privacy" (PVLDB 2011) — the
+paper's reference [6] and the differential-privacy comparator of
+Figures 11a and 11c.
+
+DiffPart performs a **top-down, context-free partitioning** guided by a
+taxonomy over the domain:
+
+1. All records start in a single partition whose *hierarchy cut* is the
+   taxonomy root.
+2. A partition is recursively refined by expanding one taxonomy node of its
+   cut into its children; records are regrouped by which children they
+   actually contain, producing one sub-partition per non-empty child
+   combination.
+3. Each sub-partition receives a share of the privacy budget; a noisy count
+   (Laplace mechanism) decides whether it is further expanded or pruned
+   (noisy count below a threshold proportional to the noise scale).
+4. When a partition's cut consists of leaves only, the remaining budget is
+   spent on a final noisy count and the corresponding itemset is emitted
+   that many times.
+
+The output is a plain transaction dataset containing only original terms —
+like disassociation — which is what makes the tKd / re comparison of
+Figure 11 meaningful.  The implementation follows the budget-allocation
+strategy of the original paper (half of the budget reserved for leaf
+counts, the rest spread adaptively over the taxonomy height).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.dataset import TransactionDataset
+from repro.exceptions import ParameterError
+from repro.mining.hierarchy import GeneralizationHierarchy
+
+
+@dataclass
+class DiffPartResult:
+    """Published output of DiffPart.
+
+    Attributes:
+        dataset: the sanitized transactions (original terms only).
+        epsilon: total privacy budget consumed.
+        partitions_published: number of leaf partitions with a positive
+            noisy count.
+        partitions_pruned: number of sub-partitions cut off by the noisy
+            threshold test.
+    """
+
+    dataset: TransactionDataset
+    epsilon: float
+    partitions_published: int
+    partitions_pruned: int
+
+
+class DiffPart:
+    """Differentially private sanitizer for set-valued data.
+
+    Args:
+        epsilon: total privacy budget (the paper sweeps 0.5-1.25).
+        hierarchy: taxonomy over the domain; a balanced hierarchy with
+            ``fanout`` is built when omitted.
+        fanout: fan-out of the automatically built taxonomy.
+        seed: seed for the Laplace noise (reproducible runs).
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 1.0,
+        hierarchy: Optional[GeneralizationHierarchy] = None,
+        fanout: int = 10,
+        seed: Optional[int] = None,
+    ):
+        if epsilon <= 0:
+            raise ParameterError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.hierarchy = hierarchy
+        self.fanout = fanout
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    def publish(self, dataset: TransactionDataset) -> DiffPartResult:
+        """Sanitize ``dataset`` under ``epsilon``-differential privacy."""
+        hierarchy = self.hierarchy
+        if hierarchy is None:
+            hierarchy = GeneralizationHierarchy.balanced(dataset.domain, fanout=self.fanout)
+
+        # Budget split as in the original algorithm: half for the final leaf
+        # counts, half for the partitioning decisions, spread over the
+        # taxonomy height.
+        height = max(1, self._taxonomy_height(hierarchy))
+        count_budget = self.epsilon / 2.0
+        partition_budget_per_level = (self.epsilon / 2.0) / height
+
+        records = [frozenset(r) for r in dataset]
+        published_records: list[frozenset] = []
+        published = 0
+        pruned = 0
+
+        # Each work item: (record indices, current cut as tuple of taxonomy nodes)
+        stack: list[tuple[list[int], tuple]] = [(list(range(len(records))), (hierarchy.root,))]
+        while stack:
+            indices, cut = stack.pop()
+            expandable = [node for node in cut if not hierarchy.is_leaf(node)]
+            if not expandable:
+                itemset = frozenset(node for node in cut if hierarchy.is_leaf(node))
+                if not itemset:
+                    continue
+                noisy = len(indices) + self._laplace(1.0 / count_budget)
+                count = int(round(noisy))
+                if count > 0:
+                    published += 1
+                    published_records.extend([itemset] * count)
+                else:
+                    pruned += 1
+                continue
+
+            node = expandable[0]
+            children = hierarchy.children(node)
+            remaining_cut = tuple(n for n in cut if n != node)
+            # Regroup records by which children of `node` they intersect.
+            groups: dict[tuple, list[int]] = {}
+            for index in indices:
+                record = records[index]
+                present = tuple(
+                    sorted(
+                        child
+                        for child in children
+                        if record & hierarchy.leaves_under(child)
+                    )
+                )
+                groups.setdefault(present, []).append(index)
+
+            scale = 1.0 / partition_budget_per_level
+            threshold = math.sqrt(2.0) * scale
+            for present, group in groups.items():
+                if not present:
+                    # none of the children occur: the node simply disappears
+                    # from the cut for these records
+                    new_cut = remaining_cut
+                    if not new_cut:
+                        continue
+                    stack.append((group, new_cut))
+                    continue
+                noisy_size = len(group) + self._laplace(scale)
+                if noisy_size < threshold:
+                    pruned += 1
+                    continue
+                new_cut = tuple(sorted(remaining_cut + present))
+                stack.append((group, new_cut))
+
+        sanitized = TransactionDataset(
+            (r for r in published_records if r), allow_empty=False
+        )
+        return DiffPartResult(
+            dataset=sanitized,
+            epsilon=self.epsilon,
+            partitions_published=published,
+            partitions_pruned=pruned,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _laplace(self, scale: float) -> float:
+        """Sample Laplace(0, scale) noise via inverse-CDF sampling."""
+        u = self._rng.random() - 0.5
+        return -scale * math.copysign(1.0, u) * math.log(1.0 - 2.0 * abs(u))
+
+    @staticmethod
+    def _taxonomy_height(hierarchy: GeneralizationHierarchy) -> int:
+        return max(hierarchy.level(leaf) for leaf in hierarchy.leaves)
+
+
+def publish_with_diffpart(
+    dataset: TransactionDataset,
+    epsilon: float = 1.0,
+    hierarchy: Optional[GeneralizationHierarchy] = None,
+    fanout: int = 10,
+    seed: Optional[int] = None,
+) -> DiffPartResult:
+    """Functional wrapper around :class:`DiffPart`."""
+    return DiffPart(epsilon=epsilon, hierarchy=hierarchy, fanout=fanout, seed=seed).publish(dataset)

@@ -1,0 +1,178 @@
+"""Command-line interface: ``repro-anon``.
+
+Sub-commands:
+
+* ``anonymize``   -- disassociate a transaction file and write the published
+  JSON (clusters, chunks, parameters).
+* ``reconstruct`` -- sample a reconstructed dataset from a published JSON.
+* ``evaluate``    -- compute the paper's information-loss metrics between an
+  original transaction file and a published JSON.
+* ``generate``    -- produce a synthetic dataset (Quest model or a POS/WV1/WV2
+  proxy) as a transaction file.
+* ``audit``       -- independently re-check the k^m-anonymity of a published
+  JSON.
+
+Examples::
+
+    repro-anon generate --profile POS --scale 0.01 --output pos.txt
+    repro-anon anonymize pos.txt --k 5 --m 2 --output pos.published.json
+    repro-anon evaluate pos.txt pos.published.json
+    repro-anon reconstruct pos.published.json --seed 3 --output world.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.core.engine import AnonymizationParams, Disassociator
+from repro.core.reconstruct import Reconstructor
+from repro.core.verification import audit
+from repro.datasets.io import (
+    read_disassociated_json,
+    read_transactions,
+    write_disassociated_json,
+    write_transactions,
+)
+from repro.datasets.quest import generate_quest
+from repro.datasets.real_proxies import available_datasets, load_proxy
+from repro.exceptions import ReproError
+from repro.experiments.harness import ExperimentConfig, evaluate as evaluate_metrics
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-anon",
+        description="Disassociation-based k^m-anonymization for set-valued data",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    anonymize = subparsers.add_parser("anonymize", help="disassociate a transaction file")
+    anonymize.add_argument("input", help="transaction file (one record per line)")
+    anonymize.add_argument("--output", required=True, help="published JSON path")
+    anonymize.add_argument("--k", type=int, default=5)
+    anonymize.add_argument("--m", type=int, default=2)
+    anonymize.add_argument("--max-cluster-size", type=int, default=30)
+    anonymize.add_argument("--no-refine", action="store_true", help="skip the REFINE step")
+
+    reconstruct = subparsers.add_parser(
+        "reconstruct", help="sample a reconstructed dataset from a published JSON"
+    )
+    reconstruct.add_argument("input", help="published JSON path")
+    reconstruct.add_argument("--output", required=True, help="transaction file to write")
+    reconstruct.add_argument("--seed", type=int, default=0)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="information-loss metrics of a publication"
+    )
+    evaluate.add_argument("original", help="original transaction file")
+    evaluate.add_argument("published", help="published JSON path")
+    evaluate.add_argument("--top-k", type=int, default=100)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("--output", required=True, help="transaction file to write")
+    generate.add_argument(
+        "--profile",
+        choices=available_datasets() + ["QUEST"],
+        default="QUEST",
+        help="real-dataset proxy profile or QUEST for the generic generator",
+    )
+    generate.add_argument("--records", type=int, default=5000)
+    generate.add_argument("--domain", type=int, default=1000)
+    generate.add_argument("--avg-length", type=float, default=10.0)
+    generate.add_argument("--scale", type=float, default=0.01, help="proxy scale factor")
+    generate.add_argument("--seed", type=int, default=0)
+
+    audit_cmd = subparsers.add_parser("audit", help="re-check a published JSON")
+    audit_cmd.add_argument("input", help="published JSON path")
+    return parser
+
+
+def _cmd_anonymize(args) -> int:
+    dataset = read_transactions(args.input)
+    params = AnonymizationParams(
+        k=args.k,
+        m=args.m,
+        max_cluster_size=args.max_cluster_size,
+        refine=not args.no_refine,
+    )
+    engine = Disassociator(params)
+    published = engine.anonymize(dataset)
+    write_disassociated_json(published, args.output)
+    report = engine.last_report
+    print(
+        f"anonymized {report.num_records} records into {report.num_clusters} clusters "
+        f"({report.num_record_chunks} record chunks, {report.num_shared_chunks} shared chunks) "
+        f"in {report.total_seconds:.2f}s"
+    )
+    return 0
+
+
+def _cmd_reconstruct(args) -> int:
+    published = read_disassociated_json(args.input)
+    world = Reconstructor(published, seed=args.seed).reconstruct()
+    write_transactions(world, args.output)
+    print(f"wrote {len(world)} reconstructed records to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    original = read_transactions(args.original)
+    published = read_disassociated_json(args.published)
+    config = ExperimentConfig(
+        k=published.k, m=published.m, top_k=args.top_k, seed=args.seed
+    )
+    metrics = evaluate_metrics(original, published, config)
+    print(json.dumps(metrics, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.profile == "QUEST":
+        dataset = generate_quest(
+            num_transactions=args.records,
+            domain_size=args.domain,
+            avg_transaction_size=args.avg_length,
+            seed=args.seed,
+        )
+    else:
+        dataset = load_proxy(args.profile, scale=args.scale, seed=args.seed)
+    write_transactions(dataset, args.output)
+    stats = dataset.stats()
+    print(f"wrote {stats.num_records} records ({stats.as_row()}) to {args.output}")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    published = read_disassociated_json(args.input)
+    report = audit(published)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+_COMMANDS = {
+    "anonymize": _cmd_anonymize,
+    "reconstruct": _cmd_reconstruct,
+    "evaluate": _cmd_evaluate,
+    "generate": _cmd_generate,
+    "audit": _cmd_audit,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-anon`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""k^m-anonymity machinery for collections of sub-records.
+
+A *chunk* in the disassociation model is a bag of sub-records (sets of
+terms) over a small domain.  A chunk is **k^m-anonymous** when every
+combination of at most ``m`` terms that appears in at least one sub-record
+appears in at least ``k`` sub-records (Section 3 of the paper).  Likewise a
+chunk is **k-anonymous** when every distinct non-empty sub-record appears at
+least ``k`` times (needed by Property 1 for shared chunks).
+
+This module implements these checks on plain collections of
+``frozenset``-like records so it can be reused by
+
+* ``VERPART`` (incrementally, while growing the term set of a chunk),
+* the published-dataset verifier (:mod:`repro.core.verification`),
+* the generalization / suppression baselines, and
+* tests and property-based tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from itertools import combinations
+from typing import Optional
+
+from repro.exceptions import ParameterError
+
+
+def validate_km_parameters(k: int, m: int) -> None:
+    """Raise :class:`~repro.exceptions.ParameterError` unless ``k>=1`` and ``m>=1``."""
+    if not isinstance(k, int) or k < 1:
+        raise ParameterError(f"k must be a positive integer, got {k!r}")
+    if not isinstance(m, int) or m < 1:
+        raise ParameterError(f"m must be a positive integer, got {m!r}")
+
+
+def combination_supports(records: Iterable[frozenset], m: int) -> Counter:
+    """Support of every term combination of size 1..m appearing in ``records``.
+
+    Only combinations that actually occur inside some record are counted;
+    absent combinations implicitly have support 0 (which never violates
+    k^m-anonymity).
+
+    Returns:
+        Counter mapping ``tuple(sorted(combo))`` -> support.
+    """
+    counts: Counter = Counter()
+    for record in records:
+        if not record:
+            continue
+        terms = sorted(record)
+        top = min(m, len(terms))
+        for size in range(1, top + 1):
+            counts.update(combinations(terms, size))
+    return counts
+
+
+def is_km_anonymous(records: Sequence[frozenset], k: int, m: int) -> bool:
+    """True when every occurring combination of up to ``m`` terms has support >= k."""
+    validate_km_parameters(k, m)
+    return find_km_violation(records, k, m) is None
+
+
+def find_km_violation(
+    records: Sequence[frozenset], k: int, m: int
+) -> Optional[tuple[tuple, int]]:
+    """Return a violating ``(itemset, support)`` pair or ``None`` if k^m-anonymous.
+
+    A violation is a combination of at most ``m`` terms that appears in at
+    least one record but in fewer than ``k`` records.
+    """
+    validate_km_parameters(k, m)
+    counts = combination_supports(records, m)
+    worst: Optional[tuple[tuple, int]] = None
+    for combo, support in counts.items():
+        if support < k and (worst is None or support < worst[1]):
+            worst = (combo, support)
+    return worst
+
+
+def find_all_km_violations(records: Sequence[frozenset], k: int, m: int) -> dict:
+    """All violating combinations mapped to their supports (diagnostics/tests)."""
+    validate_km_parameters(k, m)
+    counts = combination_supports(records, m)
+    return {combo: s for combo, s in counts.items() if s < k}
+
+
+def is_k_anonymous(records: Sequence[frozenset], k: int) -> bool:
+    """True when every distinct non-empty sub-record occurs at least ``k`` times.
+
+    This is plain k-anonymity over sub-records, required by Property 1 for
+    shared chunks whose terms also appear in descendant record chunks.
+    """
+    validate_km_parameters(k, 1)
+    counts = Counter(r for r in records if r)
+    return all(count >= k for count in counts.values())
+
+
+class IncrementalChunkChecker:
+    """Incrementally grow a chunk term-set while preserving k^m-anonymity.
+
+    ``VERPART`` repeatedly asks "if I add term *t* to the current chunk
+    domain, does the projected chunk stay k^m-anonymous?".  Re-enumerating
+    every combination after each candidate is wasteful; since combinations
+    not involving *t* were already validated, only combinations containing
+    *t* need to be checked.
+
+    The checker is handed the cluster's records once.  ``try_add(term)``
+    evaluates the candidate and, when accepted, updates the internal
+    projections; ``accepted_terms`` is the chunk domain built so far.
+
+    Args:
+        records: the cluster's records (bag of term sets).
+        k, m: the anonymity parameters.
+    """
+
+    def __init__(self, records: Sequence[frozenset], k: int, m: int):
+        validate_km_parameters(k, m)
+        self._records = [frozenset(r) for r in records]
+        self._k = k
+        self._m = m
+        self._accepted: set = set()
+        # projection of each record onto the accepted terms, kept in sync
+        self._projections: list[frozenset] = [frozenset() for _ in self._records]
+
+    @property
+    def accepted_terms(self) -> frozenset:
+        """Terms accepted into the chunk domain so far."""
+        return frozenset(self._accepted)
+
+    def projections(self) -> list[frozenset]:
+        """Current record projections onto the accepted terms (includes empties)."""
+        return list(self._projections)
+
+    def would_remain_anonymous(self, term) -> bool:
+        """Check whether adding ``term`` keeps the chunk k^m-anonymous.
+
+        Only combinations that contain ``term`` are (re-)counted: every
+        combination not involving the new term has the same support as
+        before the addition, and those were already verified.
+        """
+        term = str(term)
+        if term in self._accepted:
+            return True
+        counts: Counter = Counter()
+        for record, projection in zip(self._records, self._projections):
+            if term not in record:
+                continue
+            other_terms = sorted(projection)
+            # combinations made of `term` plus up to m-1 already-accepted terms
+            counts[(term,)] += 1
+            max_extra = min(self._m - 1, len(other_terms))
+            for size in range(1, max_extra + 1):
+                for extra in combinations(other_terms, size):
+                    counts[tuple(sorted((term,) + extra))] += 1
+        return all(count >= self._k for count in counts.values())
+
+    def try_add(self, term) -> bool:
+        """Add ``term`` to the chunk domain if the chunk stays k^m-anonymous.
+
+        Returns ``True`` when the term was accepted.
+        """
+        term = str(term)
+        if not self.would_remain_anonymous(term):
+            return False
+        self._accepted.add(term)
+        self._projections = [
+            projection | {term} if term in record else projection
+            for record, projection in zip(self._records, self._projections)
+        ]
+        return True
+
+    def reset(self) -> None:
+        """Discard the accepted terms and start a fresh chunk domain."""
+        self._accepted.clear()
+        self._projections = [frozenset() for _ in self._records]

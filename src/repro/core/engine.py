@@ -1,0 +1,272 @@
+"""End-to-end disassociation engine (the paper's anonymization algorithm).
+
+:class:`Disassociator` wires together the three phases of Section 4 —
+horizontal partitioning, vertical partitioning, refining — and returns a
+:class:`~repro.core.clusters.DisassociatedDataset`.  Parameters are grouped
+in :class:`AnonymizationParams`, validated once, and recorded on the output.
+
+Typical usage::
+
+    from repro import Disassociator, AnonymizationParams, TransactionDataset
+
+    dataset = TransactionDataset([...])
+    params = AnonymizationParams(k=5, m=2)
+    published = Disassociator(params).anonymize(dataset)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.clusters import DisassociatedDataset, SimpleCluster
+from repro.core.dataset import TransactionDataset
+from repro.core.horizontal import DEFAULT_MAX_CLUSTER_SIZE, horizontal_partition
+from repro.core.refine import refine
+from repro.core.verification import verify_km_anonymity
+from repro.core.vertical import vertical_partition
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class AnonymizationParams:
+    """Parameters of the disassociation algorithm.
+
+    Attributes:
+        k: minimum number of candidate records an adversary must face.
+        m: maximum background knowledge (number of known terms per record).
+        max_cluster_size: HORPART cluster-size bound.
+        refine: whether to run the REFINE step (disable for ablations).
+        max_join_size: cap (in original records) on the size of the joint
+            clusters created by REFINE; defaults to ``8 * max_cluster_size``
+            when left as ``None``.
+        sensitive_terms: optional set of terms to treat as sensitive; they
+            are excluded from horizontal-partitioning decisions and forced
+            into term chunks, which yields cluster-size l-diversity for them
+            (paper, Section 5, "Diversity").
+        verify: re-audit the published dataset before returning it.
+    """
+
+    k: int = 5
+    m: int = 2
+    max_cluster_size: int = DEFAULT_MAX_CLUSTER_SIZE
+    refine: bool = True
+    max_join_size: Optional[int] = None
+    sensitive_terms: frozenset = field(default_factory=frozenset)
+    verify: bool = True
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ParameterError(f"k must be >= 1, got {self.k}")
+        if self.m < 1:
+            raise ParameterError(f"m must be >= 1, got {self.m}")
+        if self.max_cluster_size < 2:
+            raise ParameterError(
+                f"max_cluster_size must be >= 2, got {self.max_cluster_size}"
+            )
+        if self.max_cluster_size <= self.k:
+            raise ParameterError(
+                "max_cluster_size must be greater than k "
+                f"(got max_cluster_size={self.max_cluster_size}, k={self.k})"
+            )
+        if self.max_join_size is not None and self.max_join_size < self.max_cluster_size:
+            raise ParameterError(
+                "max_join_size must be at least max_cluster_size "
+                f"(got max_join_size={self.max_join_size}, "
+                f"max_cluster_size={self.max_cluster_size})"
+            )
+        object.__setattr__(
+            self, "sensitive_terms", frozenset(str(t) for t in self.sensitive_terms)
+        )
+
+
+@dataclass
+class AnonymizationReport:
+    """Timings and structural statistics of one anonymization run."""
+
+    num_records: int = 0
+    num_clusters: int = 0
+    num_joint_clusters: int = 0
+    num_record_chunks: int = 0
+    num_shared_chunks: int = 0
+    term_chunk_terms: int = 0
+    horizontal_seconds: float = 0.0
+    vertical_seconds: float = 0.0
+    refine_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total anonymization time across the three phases."""
+        return self.horizontal_seconds + self.vertical_seconds + self.refine_seconds
+
+
+class Disassociator:
+    """Anonymizes transaction datasets with the disassociation transformation.
+
+    Args:
+        params: the anonymization parameters; defaults to ``k=5, m=2`` as in
+            the paper's experiments.
+    """
+
+    def __init__(self, params: Optional[AnonymizationParams] = None):
+        self.params = params if params is not None else AnonymizationParams()
+        self.last_report: Optional[AnonymizationReport] = None
+
+    def anonymize(self, dataset: TransactionDataset) -> DisassociatedDataset:
+        """Run the full pipeline and return the published dataset.
+
+        Raises:
+            AnonymityViolationError: if ``params.verify`` is set and the
+                produced dataset fails the independent audit (this would
+                indicate a library bug, not a user error).
+        """
+        params = self.params
+        report = AnonymizationReport(num_records=len(dataset))
+        sensitive = params.sensitive_terms
+
+        working = dataset
+        if sensitive:
+            # Sensitive terms are hidden from the clustering heuristic so
+            # clusters are formed on quasi-identifying content only.
+            working = TransactionDataset(
+                (record - sensitive or record for record in dataset), allow_empty=False
+            )
+
+        start = time.perf_counter()
+        partitions = horizontal_partition(working, params.max_cluster_size)
+        report.horizontal_seconds = time.perf_counter() - start
+
+        # Re-attach sensitive terms to the records of each partition so the
+        # vertical step can place them in term chunks.
+        if sensitive:
+            partitions = self._reattach_sensitive(dataset, partitions, sensitive)
+
+        start = time.perf_counter()
+        clusters: list[SimpleCluster] = []
+        for index, partition in enumerate(partitions):
+            result = vertical_partition(
+                partition, params.k, params.m, label=f"P{index}"
+            )
+            cluster = result.cluster
+            if sensitive:
+                cluster = self._force_sensitive_to_term_chunk(cluster, sensitive)
+            clusters.append(cluster)
+        report.vertical_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if params.refine and len(clusters) > 1:
+            join_cap = params.max_join_size
+            if join_cap is None:
+                join_cap = 8 * params.max_cluster_size
+            refined = refine(
+                clusters,
+                params.k,
+                params.m,
+                max_join_size=join_cap,
+                excluded_terms=sensitive,
+            )
+        else:
+            refined = list(clusters)
+        report.refine_seconds = time.perf_counter() - start
+
+        published = DisassociatedDataset(refined, k=params.k, m=params.m)
+        self._fill_report(report, published)
+        self.last_report = report
+
+        if params.verify:
+            verify_km_anonymity(published)
+        return published
+
+    # ------------------------------------------------------------------ #
+    # sensitive-term (l-diversity) support
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _reattach_sensitive(dataset, partitions, sensitive):
+        """Map partitioned records back to their original (sensitive-bearing) form.
+
+        Records are matched on their non-sensitive projection; duplicates are
+        consumed in order so multiplicities are preserved.
+        """
+        pool: dict[frozenset, list[frozenset]] = {}
+        for record in dataset:
+            key = frozenset(record - sensitive) or frozenset(record)
+            pool.setdefault(key, []).append(frozenset(record))
+        restored = []
+        for partition in partitions:
+            records = []
+            for record in partition:
+                candidates = pool.get(frozenset(record), [])
+                records.append(candidates.pop() if candidates else frozenset(record))
+            restored.append(TransactionDataset(records, allow_empty=False))
+        return restored
+
+    @staticmethod
+    def _force_sensitive_to_term_chunk(cluster: SimpleCluster, sensitive: frozenset) -> SimpleCluster:
+        """Move any sensitive term that slipped into a record chunk to the term chunk."""
+        from repro.core.clusters import RecordChunk, TermChunk
+
+        moved: set = set()
+        new_chunks = []
+        for chunk in cluster.record_chunks:
+            overlap = chunk.domain & sensitive
+            if not overlap:
+                new_chunks.append(chunk)
+                continue
+            moved.update(overlap)
+            reduced_domain = chunk.domain - overlap
+            if reduced_domain:
+                new_chunks.append(
+                    RecordChunk(reduced_domain, (sr - overlap for sr in chunk.subrecords))
+                )
+        present_sensitive = set()
+        if cluster.original_records is not None:
+            for record in cluster.original_records:
+                present_sensitive.update(record & sensitive)
+        new_term_chunk = TermChunk(cluster.term_chunk.terms | moved | present_sensitive)
+        return SimpleCluster(
+            size=cluster.size,
+            record_chunks=new_chunks,
+            term_chunk=new_term_chunk,
+            label=cluster.label,
+            original_records=cluster.original_records,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _fill_report(report: AnonymizationReport, published: DisassociatedDataset) -> None:
+        from repro.core.clusters import JointCluster
+
+        leaves = published.simple_clusters()
+        report.num_clusters = len(leaves)
+        report.num_joint_clusters = sum(
+            1 for cluster in published.clusters if isinstance(cluster, JointCluster)
+        )
+        report.num_record_chunks = sum(len(leaf.record_chunks) for leaf in leaves)
+        report.num_shared_chunks = sum(
+            1 for cluster in published.clusters for _ in cluster.iter_shared_chunks()
+        )
+        report.term_chunk_terms = sum(len(leaf.term_chunk) for leaf in leaves)
+
+
+def anonymize(
+    dataset: TransactionDataset,
+    k: int = 5,
+    m: int = 2,
+    max_cluster_size: int = DEFAULT_MAX_CLUSTER_SIZE,
+    refine: bool = True,
+    max_join_size: Optional[int] = None,
+    sensitive_terms=(),
+    verify: bool = True,
+) -> DisassociatedDataset:
+    """Functional one-call interface to the disassociation pipeline."""
+    params = AnonymizationParams(
+        k=k,
+        m=m,
+        max_cluster_size=max_cluster_size,
+        refine=refine,
+        max_join_size=max_join_size,
+        sensitive_terms=frozenset(sensitive_terms),
+        verify=verify,
+    )
+    return Disassociator(params).anonymize(dataset)

@@ -1,0 +1,98 @@
+"""Horizontal partitioning (Algorithm HORPART, paper Section 4).
+
+HORPART groups similar records together into clusters of bounded size so
+that vertical partitioning can be applied to each cluster independently.
+The heuristic recursively splits the dataset on its most frequent
+not-yet-used term: records containing the term go to one side, the rest to
+the other.  Recursion stops as soon as a part is smaller than
+``max_cluster_size`` (or no unused term remains).
+
+The procedure is equivalent to a quicksort-like recursion and runs in
+O(|D|^2) in the worst case, but is effectively linearithmic on realistic
+data (each split touches every record once and the recursion depth is
+bounded by the number of distinct frequent terms).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.dataset import TransactionDataset
+from repro.exceptions import ParameterError
+
+#: Default maximum number of records per cluster.  Small clusters keep the
+#: vertical-partitioning cost bounded; the paper regulates cluster size for
+#: the same reason (Section 4, complexity discussion).
+DEFAULT_MAX_CLUSTER_SIZE = 30
+
+
+def horizontal_partition(
+    dataset: TransactionDataset,
+    max_cluster_size: int = DEFAULT_MAX_CLUSTER_SIZE,
+) -> list[TransactionDataset]:
+    """Partition ``dataset`` into clusters of at most ``max_cluster_size`` records.
+
+    This is Algorithm HORPART.  The split term at each level is the most
+    frequent term among those not already used on the path from the root
+    (the ``ignore`` set of the paper); records containing the split term go
+    to the left part, the rest to the right part.
+
+    Args:
+        dataset: the original transaction dataset.
+        max_cluster_size: the maximum number of records per cluster; must be
+            at least 2.
+
+    Returns:
+        List of clusters (as :class:`TransactionDataset`); their
+        concatenation is a permutation of the input records.  An empty
+        input yields an empty list.
+    """
+    if max_cluster_size < 2:
+        raise ParameterError(
+            f"max_cluster_size must be at least 2, got {max_cluster_size}"
+        )
+    if len(dataset) == 0:
+        return []
+
+    clusters: list[TransactionDataset] = []
+    # Explicit stack instead of recursion: real datasets can produce deep
+    # partitioning trees (one level per frequent term) and Python's default
+    # recursion limit is easy to hit.
+    stack: list[tuple[TransactionDataset, frozenset]] = [(dataset, frozenset())]
+    while stack:
+        part, ignore = stack.pop()
+        if len(part) == 0:
+            continue
+        if len(part) < max_cluster_size:
+            clusters.append(part)
+            continue
+        split_term = part.most_frequent_term(exclude=ignore)
+        if split_term is None:
+            # Every term was already used for splitting on this path.  The
+            # remaining records are indistinguishable for the heuristic, so
+            # we cut them into chunks of max_cluster_size records.
+            clusters.extend(_chop(part, max_cluster_size))
+            continue
+        with_term, without_term = part.split_on_term(split_term)
+        if len(with_term) == 0 or len(without_term) == 0:
+            # The split term appears in all (or none) of the records; using
+            # it again would loop forever, so just mark it ignored and retry.
+            stack.append((part, ignore | {split_term}))
+            continue
+        stack.append((without_term, ignore))
+        stack.append((with_term, ignore | {split_term}))
+    return clusters
+
+
+def _chop(dataset: TransactionDataset, max_cluster_size: int) -> list[TransactionDataset]:
+    """Cut a dataset into consecutive pieces of at most ``max_cluster_size`` records."""
+    pieces = []
+    records = list(dataset)
+    for start in range(0, len(records), max_cluster_size):
+        pieces.append(TransactionDataset(records[start : start + max_cluster_size]))
+    return pieces
+
+
+def partition_sizes(clusters: Sequence[TransactionDataset]) -> list[int]:
+    """Sizes of the produced clusters (convenience for tests and diagnostics)."""
+    return [len(cluster) for cluster in clusters]

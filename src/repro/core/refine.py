@@ -1,0 +1,387 @@
+"""Refining step (Algorithm REFINE, paper Sections 3-5).
+
+Vertical partitioning may banish a term to the term chunks of several
+clusters even though its *global* support is healthy (the paper's example:
+``ikea`` and ``ruby`` are rare inside ``P1`` and inside ``P2`` but frequent
+across the two).  The refining step recovers some of this lost information
+by merging clusters into **joint clusters** with **shared chunks** built
+from such terms, provided that
+
+* the shared chunks respect Property 1 (k^m-anonymous, and plainly
+  k-anonymous whenever a shared term also appears in a record or shared
+  chunk of a descendant cluster), and
+* the merge improves utility according to the Equation-1 criterion.
+
+REFINE repeatedly orders the clusters by the contents of their (virtual)
+term chunks and merges adjacent pairs until no merge is applied.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.anonymity import is_k_anonymous, is_km_anonymous, validate_km_parameters
+from repro.core.clusters import Cluster, JointCluster, SharedChunk, SimpleCluster, TermChunk
+from repro.exceptions import RefinementError
+
+
+@dataclass
+class MergeOutcome:
+    """Result of attempting to merge two clusters.
+
+    Attributes:
+        joint: the new joint cluster, or ``None`` when the merge was rejected.
+        refining_terms: the terms that were lifted into shared chunks.
+        reason: human-readable explanation when the merge was rejected.
+    """
+
+    joint: Optional[JointCluster]
+    refining_terms: frozenset = frozenset()
+    reason: str = ""
+
+
+# --------------------------------------------------------------------------- #
+# helpers on (simple | joint) clusters
+# --------------------------------------------------------------------------- #
+def virtual_term_chunk(cluster: Cluster) -> frozenset:
+    """Union of the term chunks of the cluster's leaf simple clusters.
+
+    For a simple cluster this is just its own term chunk; for joint clusters
+    it is the "virtual term chunk" REFINE attaches before ordering.
+    """
+    if isinstance(cluster, SimpleCluster):
+        return frozenset(cluster.term_chunk.terms)
+    return cluster.term_chunk_terms()
+
+
+def cluster_size(cluster: Cluster) -> int:
+    """Number of original records represented by a (simple or joint) cluster."""
+    return cluster.size
+
+
+def _leaves_with_originals(cluster: Cluster) -> list[SimpleCluster]:
+    leaves = cluster.leaves()
+    for leaf in leaves:
+        if leaf.original_records is None:
+            raise RefinementError(
+                f"cluster {leaf.label!r} has no original records attached; "
+                "refinement requires clusters produced by vertical_partition"
+            )
+    return leaves
+
+
+# --------------------------------------------------------------------------- #
+# shared-chunk construction
+# --------------------------------------------------------------------------- #
+def build_shared_chunks(
+    leaves: Sequence[SimpleCluster],
+    refining_terms: frozenset,
+    restricted_terms: frozenset,
+    k: int,
+    m: int,
+) -> tuple[list[SharedChunk], frozenset]:
+    """Greedily build shared chunks over ``refining_terms``.
+
+    Each leaf contributes the projection of its original records onto the
+    part of the refining terms that lies in *its own* term chunk (so a
+    record never contributes the same association to both a record chunk and
+    a shared chunk).
+
+    Args:
+        leaves: the simple clusters under the prospective joint cluster.
+        refining_terms: candidate terms to lift out of the term chunks.
+        restricted_terms: the ``T^r`` of Property 1 (terms appearing in
+            record or shared chunks of the descendant clusters); a shared
+            chunk touching any of them must be k-anonymous.
+        k, m: anonymity parameters.
+
+    Returns:
+        ``(shared_chunks, placed_terms)`` where ``placed_terms`` are the
+        refining terms that actually made it into a shared chunk (the rest
+        stay in the term chunks).
+    """
+    validate_km_parameters(k, m)
+    # Pre-compute, per leaf, the projection source: original records
+    # restricted to the refining terms that live in that leaf's term chunk.
+    per_leaf_sources: list[tuple[SimpleCluster, list[frozenset]]] = []
+    for leaf in leaves:
+        liftable = leaf.term_chunk.terms & refining_terms
+        originals = leaf.original_records or []
+        per_leaf_sources.append(
+            (leaf, [record & liftable for record in originals])
+        )
+
+    supports: Counter = Counter()
+    for _leaf, projections in per_leaf_sources:
+        for projection in projections:
+            supports.update(projection)
+
+    remaining = sorted(
+        (t for t in refining_terms if supports[t] > 0),
+        key=lambda t: (-supports[t], t),
+    )
+
+    shared_chunks: list[SharedChunk] = []
+    placed: set = set()
+    while remaining:
+        accepted: list[str] = []
+        skipped: list[str] = []
+        for term in remaining:
+            candidate = frozenset(accepted) | {term}
+            projections = [
+                record & candidate
+                for _leaf, records in per_leaf_sources
+                for record in records
+            ]
+            non_empty = [p for p in projections if p]
+            anonymous = is_km_anonymous(non_empty, k, m)
+            if anonymous and candidate & restricted_terms:
+                anonymous = is_k_anonymous(non_empty, k)
+            if anonymous:
+                accepted.append(term)
+            else:
+                skipped.append(term)
+        if not accepted:
+            break
+        domain = frozenset(accepted)
+        subrecords: list[frozenset] = []
+        contributions: dict = {}
+        for leaf, records in per_leaf_sources:
+            leaf_subrecords = [record & domain for record in records]
+            non_empty = [p for p in leaf_subrecords if p]
+            contributions[leaf.label] = len(non_empty)
+            subrecords.extend(non_empty)
+        shared_chunks.append(SharedChunk(domain, subrecords, contributions))
+        placed.update(accepted)
+        remaining = skipped
+    return shared_chunks, frozenset(placed)
+
+
+# --------------------------------------------------------------------------- #
+# Equation-1 merge criterion
+# --------------------------------------------------------------------------- #
+def merge_criterion(
+    shared_chunks: Sequence[SharedChunk],
+    refining_terms: frozenset,
+    leaves: Sequence[SimpleCluster],
+    joint_size: int,
+) -> bool:
+    """Equation 1 of the paper: accept the merge when lifting the refining
+    terms into shared chunks attributes them to records at least as
+    confidently as leaving them in the member term chunks.
+
+    The left-hand side is the total support of the refining terms inside the
+    new shared chunks divided by the joint-cluster size; the right-hand side
+    is the number of refining-term occurrences in the member term chunks
+    divided by the total size of the members that contain them.
+    """
+    if joint_size == 0 or not refining_terms:
+        return False
+    lhs_numerator = 0
+    for chunk in shared_chunks:
+        chunk_supports = chunk.term_supports()
+        lhs_numerator += sum(chunk_supports.get(t, 0) for t in refining_terms)
+    lhs = lhs_numerator / joint_size
+
+    rhs_numerator = 0
+    rhs_denominator = 0
+    for leaf in leaves:
+        present = leaf.term_chunk.terms & refining_terms
+        if present:
+            rhs_numerator += len(present)
+            rhs_denominator += leaf.size
+    if rhs_denominator == 0:
+        return False
+    rhs = rhs_numerator / rhs_denominator
+    return lhs >= rhs
+
+
+# --------------------------------------------------------------------------- #
+# merging a pair of clusters
+# --------------------------------------------------------------------------- #
+def try_merge(
+    left: Cluster,
+    right: Cluster,
+    k: int,
+    m: int,
+    max_join_size: Optional[int] = None,
+    excluded_terms: frozenset = frozenset(),
+) -> MergeOutcome:
+    """Attempt to merge two clusters into a joint cluster.
+
+    The refining terms are the terms shared by the two (virtual) term
+    chunks.  The merge is applied only when at least one shared chunk can be
+    built, the Equation-1 criterion holds, and every leaf cluster still
+    satisfies Lemma 2 after the lifted terms leave its term chunk.
+    ``max_join_size`` caps the size (in original records) of the resulting
+    joint cluster: building shared chunks re-projects every leaf's records,
+    so unbounded joint growth would make refinement quadratic in the dataset
+    size while adding little utility (Equation 1's left-hand side shrinks as
+    the joint grows).  ``excluded_terms`` are never lifted (used for
+    sensitive terms, which must stay in term chunks for l-diversity).
+    """
+    if max_join_size is not None and cluster_size(left) + cluster_size(right) > max_join_size:
+        return MergeOutcome(None, reason="joint cluster would exceed max_join_size")
+    refining_candidates = (
+        virtual_term_chunk(left) & virtual_term_chunk(right)
+    ) - excluded_terms
+    if not refining_candidates:
+        return MergeOutcome(None, reason="no common term-chunk terms")
+
+    leaves = _leaves_with_originals(left) + _leaves_with_originals(right)
+    restricted = left.record_chunk_terms() | right.record_chunk_terms()
+
+    # Build the shared chunks, holding back terms whose lifting would leave a
+    # leaf with an empty term chunk it cannot afford (Lemma 2).  The paper's
+    # fallback applies: at least one term always remains available to
+    # repopulate the term chunk, so the loop terminates.
+    shared_chunks: list[SharedChunk] = []
+    placed: frozenset = frozenset()
+    while refining_candidates:
+        shared_chunks, placed = build_shared_chunks(
+            leaves, refining_candidates, restricted, k, m
+        )
+        if not shared_chunks or not placed:
+            return MergeOutcome(None, reason="no k^m-anonymous shared chunk could be built")
+        at_risk = _leaves_needing_a_term(leaves, placed, k, m)
+        if not at_risk:
+            break
+        held_back = _hold_back_terms(at_risk, placed)
+        refining_candidates = refining_candidates - held_back
+    else:
+        return MergeOutcome(None, reason="every refining term is needed by a leaf's term chunk")
+
+    joint_size = cluster_size(left) + cluster_size(right)
+    if not merge_criterion(shared_chunks, placed, leaves, joint_size):
+        return MergeOutcome(None, reason="Equation-1 criterion rejected the merge")
+
+    # The lifted terms leave the member term chunks.
+    for leaf in leaves:
+        remaining_terms = leaf.term_chunk.terms - placed
+        leaf.term_chunk = TermChunk(remaining_terms)
+
+    joint = JointCluster(
+        children=[left, right],
+        shared_chunks=shared_chunks,
+        label=f"J[{left.label}+{right.label}]",
+    )
+    return MergeOutcome(joint, refining_terms=placed)
+
+
+def _leaves_needing_a_term(
+    leaves: Sequence[SimpleCluster], placed: frozenset, k: int, m: int
+) -> list[SimpleCluster]:
+    """Leaves that would violate Lemma 2 if ``placed`` left their term chunks.
+
+    A leaf is at risk when lifting empties its term chunk and its record
+    chunks alone do not reach the Lemma-2 sub-record bound (paper, Lemma 2:
+    a non-empty term chunk or enough sub-records).
+    """
+    from repro.core.vertical import subrecord_bound
+
+    at_risk: list[SimpleCluster] = []
+    for leaf in leaves:
+        remaining = leaf.term_chunk.terms - placed
+        if remaining:
+            continue
+        if not leaf.record_chunks:
+            if leaf.size > 0:
+                at_risk.append(leaf)
+            continue
+        needed = subrecord_bound(leaf.size, k, m, len(leaf.record_chunks))
+        if leaf.total_subrecords() < needed:
+            at_risk.append(leaf)
+    return at_risk
+
+
+def _hold_back_terms(at_risk: Sequence[SimpleCluster], placed: frozenset) -> frozenset:
+    """For every at-risk leaf, pick one of its term-chunk terms to keep local.
+
+    The held-back terms are removed from the refining candidates so the
+    leaf's term chunk stays non-empty after the merge.  Choosing the
+    lexicographically smallest term keeps the procedure deterministic.
+    """
+    held: set = set()
+    for leaf in at_risk:
+        liftable = sorted(leaf.term_chunk.terms & placed)
+        if liftable:
+            held.add(liftable[0])
+    # Guard against a pathological empty selection (cannot happen when the
+    # leaf was flagged because of `placed`, but keeps the caller's loop safe).
+    return frozenset(held) if held else frozenset(placed and {sorted(placed)[0]})
+
+
+# --------------------------------------------------------------------------- #
+# the REFINE driver
+# --------------------------------------------------------------------------- #
+def _ordering_key(cluster: Cluster, tcs: Counter) -> tuple:
+    """Ordering key for REFINE: the (virtual) term chunk rendered as a tuple of
+    terms sorted by descending term-chunk support, compared lexicographically."""
+    terms = sorted(virtual_term_chunk(cluster), key=lambda t: (-tcs[t], t))
+    # Clusters with empty term chunks sort last: they have nothing to refine.
+    return (len(terms) == 0, tuple(terms))
+
+
+def refine(
+    clusters: Sequence[Cluster],
+    k: int,
+    m: int,
+    max_passes: int = 50,
+    max_join_size: Optional[int] = 240,
+    excluded_terms: frozenset = frozenset(),
+) -> list[Cluster]:
+    """Algorithm REFINE: iteratively merge adjacent cluster pairs.
+
+    Args:
+        clusters: k^m-anonymous clusters (typically the VERPART output).
+        k, m: anonymity parameters.
+        max_passes: safety cap on the number of merge passes (the algorithm
+            terminates on its own because each pass either merges clusters,
+            strictly reducing their number, or stops).
+        max_join_size: cap on the number of original records per joint
+            cluster (``None`` disables the cap); see :func:`try_merge`.
+        excluded_terms: terms that must never be lifted into shared chunks
+            (sensitive terms stay in term chunks for l-diversity).
+
+    Returns:
+        The refined list of clusters (joint clusters replace merged pairs).
+    """
+    validate_km_parameters(k, m)
+    excluded_terms = frozenset(str(t) for t in excluded_terms)
+    current: list[Cluster] = list(clusters)
+    for _pass in range(max_passes):
+        if len(current) < 2:
+            break
+        # term-chunk support of each term across the current clusters
+        tcs: Counter = Counter()
+        for cluster in current:
+            tcs.update(virtual_term_chunk(cluster))
+        ordered = sorted(current, key=lambda c: _ordering_key(c, tcs))
+
+        merged: list[Cluster] = []
+        changed = False
+        index = 0
+        while index < len(ordered):
+            if index + 1 < len(ordered):
+                outcome = try_merge(
+                    ordered[index],
+                    ordered[index + 1],
+                    k,
+                    m,
+                    max_join_size=max_join_size,
+                    excluded_terms=excluded_terms,
+                )
+                if outcome.joint is not None:
+                    merged.append(outcome.joint)
+                    changed = True
+                    index += 2
+                    continue
+            merged.append(ordered[index])
+            index += 1
+        current = merged
+        if not changed:
+            break
+    return current

@@ -1,0 +1,184 @@
+"""Vertical partitioning (Algorithm VERPART, paper Section 4) and the
+Lemma-2 validity enforcement (paper Section 5).
+
+VERPART takes one cluster (a small bag of records) and splits its term
+domain into
+
+* record-chunk domains ``T_1 .. T_v`` such that every projected chunk is
+  k^m-anonymous, and
+* the term-chunk domain ``T_T`` holding all terms with cluster support
+  below ``k`` (and any terms demoted by the Lemma-2 check).
+
+The greedy strategy follows the paper: terms are considered in decreasing
+support order; a term joins the current chunk domain if the projected chunk
+stays k^m-anonymous, otherwise it is left for a later chunk.
+
+Lemma 2 requires that the published cluster admits at least one *valid*
+reconstruction of its declared size for every m-term combination; this is
+guaranteed when the term chunk is non-empty or when the total number of
+published sub-records is at least ``size + k*(h-1)`` with
+``h = min(m, v)``.  When the condition fails, the least frequent
+record-chunk terms are demoted to the term chunk until it holds (the paper
+notes this fallback is always feasible).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.anonymity import IncrementalChunkChecker, validate_km_parameters
+from repro.core.clusters import RecordChunk, SimpleCluster, TermChunk
+from repro.core.dataset import TransactionDataset
+
+
+@dataclass
+class VerticalPartitionResult:
+    """Outcome of vertically partitioning one cluster.
+
+    Attributes:
+        cluster: the published :class:`SimpleCluster`.
+        demoted_terms: terms moved from record chunks to the term chunk by
+            the Lemma-2 enforcement (useful for diagnostics and ablations).
+    """
+
+    cluster: SimpleCluster
+    demoted_terms: frozenset = field(default_factory=frozenset)
+
+
+def vertical_partition(
+    records: TransactionDataset,
+    k: int,
+    m: int,
+    label: str = "P",
+    enforce_lemma2: bool = True,
+) -> VerticalPartitionResult:
+    """Vertically partition one cluster into record chunks and a term chunk.
+
+    Args:
+        records: the cluster's records (output of HORPART).
+        k, m: anonymity parameters.
+        label: stable cluster label used downstream (refining, reconstruction).
+        enforce_lemma2: when ``True`` (default) the Lemma-2 sub-record bound
+            is enforced by demoting terms if necessary.  Disabling it is
+            only useful for ablation experiments and tests that reproduce
+            Example 1 of the paper.
+
+    Returns:
+        A :class:`VerticalPartitionResult` whose ``cluster`` is
+        k^m-anonymous (and Lemma-2 valid unless disabled).
+    """
+    validate_km_parameters(k, m)
+    record_list = [frozenset(r) for r in records]
+    supports = records.term_supports()
+
+    # Step 1: terms with support < k can never appear in a k^m-anonymous
+    # record chunk (their singleton combination already violates the bound),
+    # so they go straight to the term chunk.
+    term_chunk_terms = {t for t, s in supports.items() if s < k}
+    remaining = [t for t in records.terms_by_support(descending=True) if t not in term_chunk_terms]
+
+    # Step 2: greedily grow chunk domains.
+    chunk_domains: list[frozenset] = []
+    while remaining:
+        checker = IncrementalChunkChecker(record_list, k, m)
+        accepted: list[str] = []
+        skipped: list[str] = []
+        for term in remaining:
+            if checker.try_add(term):
+                accepted.append(term)
+            else:
+                skipped.append(term)
+        if not accepted:
+            # Cannot happen per the paper's argument (a singleton chunk of a
+            # term with support >= k is always k^m-anonymous), but guard
+            # against pathological inputs: demote everything left.
+            term_chunk_terms.update(remaining)
+            break
+        chunk_domains.append(frozenset(accepted))
+        remaining = skipped
+
+    demoted: set = set()
+    if enforce_lemma2:
+        chunk_domains, extra = _enforce_lemma2(
+            record_list, chunk_domains, term_chunk_terms, supports, k, m, len(record_list)
+        )
+        demoted = extra
+        term_chunk_terms.update(extra)
+
+    record_chunks = [
+        _project_chunk(record_list, domain) for domain in chunk_domains
+    ]
+    # drop chunks that became empty after demotions
+    record_chunks = [chunk for chunk in record_chunks if len(chunk) > 0 and chunk.domain]
+
+    cluster = SimpleCluster(
+        size=len(record_list),
+        record_chunks=record_chunks,
+        term_chunk=TermChunk(term_chunk_terms),
+        label=label,
+        original_records=record_list,
+    )
+    return VerticalPartitionResult(cluster=cluster, demoted_terms=frozenset(demoted))
+
+
+def _project_chunk(records: Sequence[frozenset], domain: frozenset) -> RecordChunk:
+    """Project the cluster records onto ``domain``; empty projections are dropped."""
+    return RecordChunk(domain, (record & domain for record in records))
+
+
+def subrecord_bound(size: int, k: int, m: int, num_chunks: int) -> int:
+    """The Lemma-2 lower bound on the number of published sub-records.
+
+    ``size + k*(h-1)`` with ``h = min(m, v)``; with a single chunk the bound
+    degenerates to ``size`` (one sub-record per record suffices).
+    """
+    if num_chunks == 0:
+        return 0
+    h = min(m, num_chunks)
+    return size + k * (h - 1)
+
+
+def satisfies_lemma2(cluster: SimpleCluster, k: int, m: int) -> bool:
+    """Check the Lemma-2 validity condition on a published simple cluster."""
+    if len(cluster.term_chunk) > 0:
+        return True
+    if not cluster.record_chunks:
+        # no chunks at all: the cluster publishes nothing but its size, which
+        # can only happen for empty clusters
+        return cluster.size == 0
+    needed = subrecord_bound(cluster.size, k, m, len(cluster.record_chunks))
+    return cluster.total_subrecords() >= needed
+
+
+def _enforce_lemma2(
+    records: Sequence[frozenset],
+    chunk_domains: list[frozenset],
+    term_chunk_terms: set,
+    supports,
+    k: int,
+    m: int,
+    size: int,
+) -> tuple[list[frozenset], set]:
+    """Demote the least frequent record-chunk terms until Lemma 2 holds.
+
+    Returns the possibly shrunk chunk domains and the set of demoted terms.
+    """
+    demoted: set = set()
+    while True:
+        if term_chunk_terms or demoted:
+            break  # a non-empty term chunk always satisfies Lemma 2
+        domains = [d for d in chunk_domains if d]
+        if not domains:
+            break
+        total = sum(
+            sum(1 for record in records if record & domain) for domain in domains
+        )
+        if total >= subrecord_bound(size, k, m, len(domains)):
+            break
+        # Demote the least frequent term currently assigned to a record chunk.
+        assigned = [t for domain in domains for t in domain]
+        victim = min(assigned, key=lambda t: (supports[t], t))
+        demoted.add(victim)
+        chunk_domains = [frozenset(d - {victim}) for d in chunk_domains]
+    return [d for d in chunk_domains if d], demoted

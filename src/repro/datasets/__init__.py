@@ -1,0 +1,43 @@
+"""Dataset substrate: file I/O, synthetic generation and real-data proxies.
+
+* :mod:`repro.datasets.io` -- transaction-file and JSON readers/writers.
+* :mod:`repro.datasets.quest` -- IBM Quest-style synthetic generator.
+* :mod:`repro.datasets.real_proxies` -- statistical proxies of the POS /
+  WV1 / WV2 datasets used in the paper's evaluation.
+"""
+
+from repro.datasets.io import (
+    read_dataset_json,
+    read_disassociated_json,
+    read_transactions,
+    write_dataset_json,
+    write_disassociated_json,
+    write_transactions,
+)
+from repro.datasets.quest import QuestConfig, QuestGenerator, generate_quest
+from repro.datasets.real_proxies import (
+    DEFAULT_SCALE,
+    PROFILES,
+    RealDatasetProfile,
+    available_datasets,
+    load_proxy,
+    profile_of,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "PROFILES",
+    "QuestConfig",
+    "QuestGenerator",
+    "RealDatasetProfile",
+    "available_datasets",
+    "generate_quest",
+    "load_proxy",
+    "profile_of",
+    "read_dataset_json",
+    "read_disassociated_json",
+    "read_transactions",
+    "write_dataset_json",
+    "write_disassociated_json",
+    "write_transactions",
+]

@@ -1,0 +1,101 @@
+"""Reading and writing transaction datasets and disassociated publications.
+
+Two on-disk formats are supported:
+
+* **transaction files** -- one record per line, terms separated by a
+  delimiter (space by default), the format used by the classic market-basket
+  datasets (POS/WV1/WV2 were distributed this way);
+* **JSON** -- for both plain datasets and disassociated publications
+  (clusters, chunks and parameters), used by the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.clusters import DisassociatedDataset
+from repro.core.dataset import TransactionDataset
+from repro.exceptions import DatasetFormatError
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------------- #
+# transaction (one line per record) format
+# --------------------------------------------------------------------------- #
+def read_transactions(path: PathLike, delimiter: str = None) -> TransactionDataset:
+    """Read a transaction file: one record per line, delimiter-separated terms.
+
+    Blank lines are skipped; a line with no terms after splitting raises
+    :class:`~repro.exceptions.DatasetFormatError` (empty records are not
+    meaningful in set-valued data).
+    """
+    path = Path(path)
+    records = []
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                terms = line.split(delimiter)
+                terms = [t for t in terms if t]
+                if not terms:
+                    raise DatasetFormatError(
+                        f"{path}:{line_number}: record has no terms"
+                    )
+                records.append(terms)
+    except OSError as exc:
+        raise DatasetFormatError(f"cannot read transaction file {path}: {exc}") from exc
+    return TransactionDataset(records)
+
+
+def write_transactions(
+    dataset: TransactionDataset, path: PathLike, delimiter: str = " "
+) -> None:
+    """Write a dataset as a transaction file (terms sorted within each record)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in dataset:
+            handle.write(delimiter.join(sorted(record)) + "\n")
+
+
+# --------------------------------------------------------------------------- #
+# JSON formats
+# --------------------------------------------------------------------------- #
+def read_dataset_json(path: PathLike) -> TransactionDataset:
+    """Read a plain dataset stored as a JSON list of term lists."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DatasetFormatError(f"cannot read dataset JSON {path}: {exc}") from exc
+    if not isinstance(payload, list):
+        raise DatasetFormatError(f"{path}: expected a JSON list of records")
+    return TransactionDataset.from_lists(payload)
+
+
+def write_dataset_json(dataset: TransactionDataset, path: PathLike) -> None:
+    """Write a plain dataset as a JSON list of sorted term lists."""
+    Path(path).write_text(
+        json.dumps(dataset.to_lists(), indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+
+def read_disassociated_json(path: PathLike) -> DisassociatedDataset:
+    """Read a disassociated publication from its JSON form."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DatasetFormatError(f"cannot read published JSON {path}: {exc}") from exc
+    return DisassociatedDataset.from_dict(payload)
+
+
+def write_disassociated_json(published: DisassociatedDataset, path: PathLike) -> None:
+    """Write a disassociated publication as JSON (clusters, chunks, k, m)."""
+    Path(path).write_text(
+        json.dumps(published.to_dict(), indent=2, sort_keys=True), encoding="utf-8"
+    )

@@ -1,0 +1,163 @@
+"""IBM Quest-style synthetic market-basket data generator.
+
+The paper's synthetic experiments use IBM's Quest generator (the classic
+``T10I4D100K``-family tool), which is distributed as a binary and is not
+available offline.  This module re-implements its generative model:
+
+1. a pool of *potential frequent itemsets* is drawn — itemset sizes follow
+   a Poisson distribution around ``avg_pattern_size``, successive itemsets
+   share a fraction of their items (correlation), and itemset weights follow
+   an exponential distribution;
+2. each transaction picks patterns by weight until its (Poisson-distributed)
+   target length is reached, *corrupting* each pattern by dropping items
+   with a per-pattern corruption level;
+3. item identifiers are assigned with a skewed (Zipf-like) popularity so the
+   marginal term-support distribution has the long tail typical of real
+   transactional data.
+
+The defaults match the paper's synthetic workloads: 5k-term domain and an
+average record length of 10; the dataset size is a parameter of each
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dataset import TransactionDataset
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class QuestConfig:
+    """Parameters of the Quest-style generator.
+
+    Attributes:
+        num_transactions: number of records to generate (|D|).
+        domain_size: number of distinct items (|T|).
+        avg_transaction_size: average record length (Poisson mean).
+        avg_pattern_size: average size of the potential frequent itemsets.
+        num_patterns: size of the potential-frequent-itemset pool.
+        correlation: fraction of items a pattern inherits from its
+            predecessor in the pool.
+        corruption_mean: mean per-pattern corruption level (items dropped).
+        zipf_exponent: skew of the item-popularity distribution.
+        seed: PRNG seed (generation is fully deterministic given the seed).
+    """
+
+    num_transactions: int = 10_000
+    domain_size: int = 5_000
+    avg_transaction_size: float = 10.0
+    avg_pattern_size: float = 4.0
+    num_patterns: int = 2_000
+    correlation: float = 0.25
+    corruption_mean: float = 0.5
+    zipf_exponent: float = 1.1
+    seed: Optional[int] = 0
+
+    def __post_init__(self):
+        if self.num_transactions < 1:
+            raise ParameterError("num_transactions must be positive")
+        if self.domain_size < 2:
+            raise ParameterError("domain_size must be at least 2")
+        if self.avg_transaction_size < 1:
+            raise ParameterError("avg_transaction_size must be at least 1")
+        if self.avg_pattern_size < 1:
+            raise ParameterError("avg_pattern_size must be at least 1")
+        if self.num_patterns < 1:
+            raise ParameterError("num_patterns must be positive")
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ParameterError("correlation must be in [0, 1]")
+        if not 0.0 <= self.corruption_mean < 1.0:
+            raise ParameterError("corruption_mean must be in [0, 1)")
+
+
+class QuestGenerator:
+    """Generates synthetic transactional datasets with the Quest model."""
+
+    def __init__(self, config: Optional[QuestConfig] = None, **overrides):
+        if config is None:
+            config = QuestConfig(**overrides)
+        elif overrides:
+            raise ParameterError("pass either a QuestConfig or keyword overrides, not both")
+        self.config = config
+
+    def generate(self) -> TransactionDataset:
+        """Generate the dataset described by the configuration."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+
+        # Skewed item popularity: item 0 is the most popular.
+        ranks = np.arange(1, cfg.domain_size + 1, dtype=float)
+        popularity = 1.0 / np.power(ranks, cfg.zipf_exponent)
+        popularity /= popularity.sum()
+
+        patterns = self._build_patterns(rng, popularity)
+        pattern_weights = rng.exponential(scale=1.0, size=len(patterns))
+        pattern_weights /= pattern_weights.sum()
+        corruption = np.clip(
+            rng.normal(cfg.corruption_mean, 0.1, size=len(patterns)), 0.0, 0.95
+        )
+
+        records = []
+        pattern_count = len(patterns)
+        for _ in range(cfg.num_transactions):
+            target = max(1, rng.poisson(cfg.avg_transaction_size))
+            record: set = set()
+            attempts = 0
+            while len(record) < target and attempts < 10 * target:
+                attempts += 1
+                index = rng.choice(pattern_count, p=pattern_weights)
+                pattern = patterns[index]
+                keep_probability = 1.0 - corruption[index]
+                kept = [item for item in pattern if rng.random() < keep_probability]
+                if not kept:
+                    kept = [pattern[int(rng.integers(len(pattern)))]]
+                record.update(kept)
+            if not record:
+                record.add(f"i{int(rng.choice(cfg.domain_size, p=popularity))}")
+            records.append(frozenset(record))
+        return TransactionDataset(records)
+
+    def _build_patterns(self, rng: np.random.Generator, popularity: np.ndarray) -> list[list[str]]:
+        cfg = self.config
+        patterns: list[list[str]] = []
+        previous: list[str] = []
+        for _ in range(cfg.num_patterns):
+            size = max(1, rng.poisson(cfg.avg_pattern_size))
+            inherited_count = int(round(cfg.correlation * min(size, len(previous))))
+            inherited = list(
+                rng.choice(previous, size=inherited_count, replace=False)
+            ) if inherited_count else []
+            fresh_needed = size - len(inherited)
+            fresh = [
+                f"i{int(index)}"
+                for index in rng.choice(
+                    cfg.domain_size, size=fresh_needed, replace=False, p=popularity
+                )
+            ]
+            pattern = list(dict.fromkeys(inherited + fresh))
+            patterns.append(pattern)
+            previous = pattern
+        return patterns
+
+
+def generate_quest(
+    num_transactions: int = 10_000,
+    domain_size: int = 5_000,
+    avg_transaction_size: float = 10.0,
+    seed: Optional[int] = 0,
+    **extra,
+) -> TransactionDataset:
+    """One-call Quest generation with the paper's default synthetic parameters."""
+    config = QuestConfig(
+        num_transactions=num_transactions,
+        domain_size=domain_size,
+        avg_transaction_size=avg_transaction_size,
+        seed=seed,
+        **extra,
+    )
+    return QuestGenerator(config).generate()

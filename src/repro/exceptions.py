@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class.  Each subclass documents the situation it signals
+and carries enough context (in its message and, where useful, attributes) to
+diagnose the problem without reading library internals.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DatasetError(ReproError):
+    """Raised when a transactional dataset is malformed or cannot be built.
+
+    Typical causes: empty records where they are not allowed, records that
+    are not iterables of hashable terms, or a parse failure while reading a
+    transaction file.
+    """
+
+
+class DatasetFormatError(DatasetError):
+    """Raised when a serialized dataset (file or JSON blob) cannot be parsed."""
+
+
+class ParameterError(ReproError):
+    """Raised when anonymization parameters are invalid.
+
+    Examples: ``k < 1``, ``m < 1``, a ``max_cluster_size`` smaller than
+    ``k``, or a negative privacy budget for DiffPart.
+    """
+
+
+class AnonymityViolationError(ReproError):
+    """Raised when a published dataset fails its anonymity guarantee.
+
+    Carries the offending itemset and its support so that tests and callers
+    can report precisely which combination breaks k^m-anonymity.
+    """
+
+    def __init__(self, message: str, itemset=None, support=None):
+        super().__init__(message)
+        self.itemset = tuple(sorted(itemset)) if itemset is not None else None
+        self.support = support
+
+
+class RefinementError(ReproError):
+    """Raised when the refining step produces an inconsistent joint cluster."""
+
+
+class ReconstructionError(ReproError):
+    """Raised when a disassociated dataset cannot be reconstructed.
+
+    This indicates corrupted published data (e.g. a record chunk with more
+    sub-records than the declared cluster size).
+    """
+
+
+class HierarchyError(ReproError):
+    """Raised for malformed generalization hierarchies (cycles, orphans,
+    terms missing from the hierarchy domain)."""
+
+
+class MiningError(ReproError):
+    """Raised when frequent-itemset mining receives invalid input
+    (e.g. a non-positive ``top_k`` or a negative minimum support)."""

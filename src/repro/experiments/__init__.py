@@ -1,0 +1,31 @@
+"""Experiment drivers reproducing every figure of the paper's evaluation.
+
+Each ``figureXX`` module exposes ``run_*`` functions returning plain result
+rows; the ``benchmarks/`` suite wraps them with pytest-benchmark and prints
+the regenerated series next to the paper's reported shapes (see
+EXPERIMENTS.md for the side-by-side record).
+"""
+
+from repro.experiments.harness import (
+    BENCH_CONFIG,
+    TEST_CONFIG,
+    DisassociationRun,
+    ExperimentConfig,
+    disassociate,
+    evaluate,
+    format_table,
+    load_dataset,
+    run_dataset,
+)
+
+__all__ = [
+    "BENCH_CONFIG",
+    "TEST_CONFIG",
+    "DisassociationRun",
+    "ExperimentConfig",
+    "disassociate",
+    "evaluate",
+    "format_table",
+    "load_dataset",
+    "run_dataset",
+]

@@ -1,0 +1,79 @@
+"""Ablation experiments (not in the paper, but called out in DESIGN.md).
+
+* **A1** -- effect of the HORPART ``max_cluster_size`` bound on information
+  loss and runtime: larger clusters give VERPART more room (lower tlost)
+  but cost more time per cluster.
+* **A2** -- effect of the REFINE step: with refinement disabled, globally
+  frequent but locally rare terms stay stranded in term chunks, which the
+  tlost and re metrics expose.
+* **A3** -- suppression baseline: how much of the domain survives global
+  suppression at the same (k, m), reproducing the ~90% term-loss claim the
+  paper cites for suppression-based approaches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.suppression import GlobalSuppressor
+from repro.experiments.harness import ExperimentConfig, disassociate, evaluate, load_dataset
+
+#: Cluster-size bounds swept by ablation A1.
+DEFAULT_CLUSTER_SIZES = (12, 30, 60)
+
+
+def run_cluster_size_ablation(
+    config: ExperimentConfig,
+    cluster_sizes: Sequence[int] = DEFAULT_CLUSTER_SIZES,
+    dataset: str = "POS",
+) -> list[dict]:
+    """Ablation A1: sweep the maximum cluster size."""
+    original = load_dataset(dataset, config)
+    rows = []
+    for size in cluster_sizes:
+        local = config.with_overrides(max_cluster_size=size)
+        published, seconds = disassociate(original, local)
+        metrics = evaluate(original, published, local)
+        row = {"max_cluster_size": size, "seconds": seconds}
+        row.update(metrics)
+        rows.append(row)
+    return rows
+
+
+def run_refine_ablation(config: ExperimentConfig, dataset: str = "POS") -> list[dict]:
+    """Ablation A2: REFINE enabled versus disabled."""
+    original = load_dataset(dataset, config)
+    rows = []
+    for refine_enabled in (True, False):
+        published, seconds = disassociate(original, config, refine=refine_enabled)
+        metrics = evaluate(original, published, config)
+        row = {"refine": refine_enabled, "seconds": seconds}
+        row.update(metrics)
+        rows.append(row)
+    return rows
+
+
+def run_suppression_comparison(
+    config: ExperimentConfig, dataset: str = "WV1", sample_size: int = 800
+) -> list[dict]:
+    """Ablation A3: term survival under global suppression versus disassociation.
+
+    Suppression is quadratic in practice, so the comparison runs on a sample
+    of the proxy dataset; the compared quantity (fraction of the domain that
+    keeps any associations) is a ratio and does not depend on the absolute
+    sample size.
+    """
+    original = load_dataset(dataset, config).sample(sample_size, seed=config.seed)
+    published, _seconds = disassociate(original, config)
+    disassociation_preserved = len(published.record_chunk_terms()) / max(
+        1, len(original.domain)
+    )
+
+    suppressor = GlobalSuppressor(k=config.k, m=config.m)
+    suppressed = suppressor.anonymize(original)
+    suppression_preserved = len(suppressed.dataset.domain) / max(1, len(original.domain))
+
+    return [
+        {"method": "disassociation", "terms_with_associations": disassociation_preserved},
+        {"method": "suppression", "terms_with_associations": suppression_preserved},
+    ]

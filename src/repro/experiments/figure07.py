@@ -1,0 +1,128 @@
+"""Figure 7: information loss of disassociation on the real datasets.
+
+* **7a** -- the five metrics (tKd-a, tKd, re-a, re, tlost) on POS/WV1/WV2
+  with k=5, m=2.
+* **7b** -- tKd-a and tKd on POS for k = 4..20.
+* **7c** -- re-a, re and tlost on POS for k = 4..20.
+* **7d** -- re on POS for different term-frequency ranges, averaging the
+  supports over 1, 2, 5 and 10 reconstructions.
+
+All drivers return plain row dicts; use
+:func:`repro.experiments.harness.format_table` to print them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    disassociate,
+    evaluate,
+    load_dataset,
+    run_dataset,
+)
+from repro.metrics import relative_error_chunks, relative_error_reconstructed
+
+#: k values swept in Figures 7b/7c (the paper uses 4..20 in steps of 2).
+DEFAULT_K_SWEEP = (4, 8, 12, 16, 20)
+
+#: Frequency-rank windows probed in Figure 7d (paper: 0-20 ... 400-420).
+DEFAULT_RANGES = ((0, 20), (100, 120), (200, 220), (300, 320), (400, 420))
+
+#: Reconstruction counts averaged in Figure 7d.
+DEFAULT_RECONSTRUCTION_COUNTS = (1, 2, 5, 10)
+
+
+def run_fig7a(config: ExperimentConfig) -> list[dict]:
+    """Information loss of disassociation on every real-dataset proxy."""
+    rows = []
+    for name in config.datasets:
+        run = run_dataset(name, config)
+        row = {"dataset": name}
+        row.update(run.metrics)
+        rows.append(row)
+    return rows
+
+
+def run_fig7b(
+    config: ExperimentConfig,
+    ks: Sequence[int] = DEFAULT_K_SWEEP,
+    dataset: str = "POS",
+) -> list[dict]:
+    """tKd-a and tKd versus k on the POS proxy."""
+    original = load_dataset(dataset, config)
+    rows = []
+    for k in ks:
+        published, _seconds = disassociate(original, config, k=k)
+        metrics = evaluate(original, published, config)
+        rows.append({"k": k, "tkd_a": metrics["tkd_a"], "tkd": metrics["tkd"]})
+    return rows
+
+
+def run_fig7c(
+    config: ExperimentConfig,
+    ks: Sequence[int] = DEFAULT_K_SWEEP,
+    dataset: str = "POS",
+) -> list[dict]:
+    """re-a, re and tlost versus k on the POS proxy."""
+    original = load_dataset(dataset, config)
+    rows = []
+    for k in ks:
+        published, _seconds = disassociate(original, config, k=k)
+        metrics = evaluate(original, published, config)
+        rows.append(
+            {
+                "k": k,
+                "re_a": metrics["re_a"],
+                "re": metrics["re"],
+                "tlost": metrics["tlost"],
+            }
+        )
+    return rows
+
+
+def run_fig7d(
+    config: ExperimentConfig,
+    ranges: Sequence[tuple] = DEFAULT_RANGES,
+    reconstruction_counts: Sequence[int] = DEFAULT_RECONSTRUCTION_COUNTS,
+    dataset: str = "POS",
+) -> list[dict]:
+    """re versus term-frequency range, averaged over several reconstructions.
+
+    Each row corresponds to one frequency range and contains ``re_a`` plus
+    one ``re_r<N>`` column per reconstruction count.
+    """
+    original = load_dataset(dataset, config)
+    published, _seconds = disassociate(original, config)
+    domain_size = len(original.domain)
+    rows = []
+    for rank_range in ranges:
+        start, stop = rank_range
+        if start >= domain_size:
+            continue
+        row = {"range_start": start}
+        row["re_a"] = relative_error_chunks(original, published, rank_range=rank_range)
+        for count in reconstruction_counts:
+            row[f"re_r{count}"] = relative_error_reconstructed(
+                original,
+                published,
+                rank_range=rank_range,
+                reconstructions=count,
+                seed=config.seed,
+            )
+        rows.append(row)
+    return rows
+
+
+def paper_reference(figure: str) -> Optional[str]:
+    """Short textual reminder of what the paper reports for each sub-figure."""
+    notes = {
+        "7a": "paper: tKd-a similar across datasets; tKd and re improve most on POS "
+        "(largest |D|/|T| ratio); tlost modest.",
+        "7b": "paper: tKd-a and tKd on POS only slightly affected as k grows 4->20.",
+        "7c": "paper: re grows roughly linearly with k but at a low rate; tlost grows slowly.",
+        "7d": "paper: for frequent terms averaging adds nothing; for less frequent terms "
+        "more reconstructions give sharper estimates (re-10 < re-1).",
+    }
+    return notes.get(figure)

@@ -1,0 +1,64 @@
+"""Figure 10: anonymization cost on synthetic data.
+
+* **10a** -- anonymization time versus dataset size (paper: 1M-10M records).
+* **10b** -- anonymization time versus domain size (paper: 2k-10k terms).
+
+The reproduced claim is the *shape*: time grows linearly with the number of
+records and (sub-)linearly with the domain size.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datasets.quest import generate_quest
+from repro.experiments.figure08 import DEFAULT_DOMAINS, DEFAULT_SIZES, SWEEP_DOMAIN, SWEEP_RECORDS
+from repro.experiments.harness import ExperimentConfig, disassociate
+
+
+def run_fig10a(
+    config: ExperimentConfig,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    domain_size: int = SWEEP_DOMAIN,
+) -> list[dict]:
+    """Anonymization time versus number of records."""
+    rows = []
+    for size in sizes:
+        original = generate_quest(
+            num_transactions=size, domain_size=domain_size, seed=config.seed
+        )
+        _published, seconds = disassociate(original, config)
+        rows.append({"records": size, "seconds": seconds})
+    return rows
+
+
+def run_fig10b(
+    config: ExperimentConfig,
+    domains: Sequence[int] = DEFAULT_DOMAINS,
+    num_records: int = SWEEP_RECORDS,
+) -> list[dict]:
+    """Anonymization time versus domain size."""
+    rows = []
+    for domain in domains:
+        original = generate_quest(
+            num_transactions=num_records, domain_size=domain, seed=config.seed
+        )
+        _published, seconds = disassociate(original, config)
+        rows.append({"domain": domain, "seconds": seconds})
+    return rows
+
+
+def linearity_ratio(rows: list[dict], x_key: str) -> float:
+    """Diagnostic: (time per unit at the largest x) / (time per unit at the smallest x).
+
+    A value close to 1 indicates linear scaling; the paper's Figure 10a is
+    linear in the number of records.
+    """
+    if len(rows) < 2:
+        return 1.0
+    first, last = rows[0], rows[-1]
+    per_unit_first = first["seconds"] / max(1, first[x_key])
+    per_unit_last = last["seconds"] / max(1, last[x_key])
+    if per_unit_first == 0:
+        return 1.0
+    return per_unit_last / per_unit_first

@@ -1,0 +1,49 @@
+"""Information-loss metrics of the paper (Section 6) plus NCP.
+
+* :mod:`repro.metrics.tkd` -- top-K deviation (tKd, tKd-a).
+* :mod:`repro.metrics.ml2` -- multi-level top-K deviation (tKd-ML2).
+* :mod:`repro.metrics.relative_error` -- pair-support relative error
+  (re, re-a, re over generalized data, multi-reconstruction averaging).
+* :mod:`repro.metrics.tlost` -- frequent terms demoted to term chunks.
+* :mod:`repro.metrics.ncp` -- Normalized Certainty Penalty of generalization.
+"""
+
+from repro.metrics.ml2 import extend_dataset, tkd_ml2, tkd_ml2_disassociated
+from repro.metrics.ncp import dataset_ncp, term_ncp
+from repro.metrics.relative_error import (
+    pair_relative_error,
+    relative_error,
+    relative_error_chunks,
+    relative_error_generalized,
+    relative_error_reconstructed,
+    terms_in_rank_range,
+)
+from repro.metrics.tkd import (
+    DEFAULT_MAX_SIZE,
+    DEFAULT_TOP_K,
+    tkd_chunks,
+    tkd_reconstructed,
+    top_k_deviation,
+)
+from repro.metrics.tlost import terms_lost, tlost
+
+__all__ = [
+    "DEFAULT_MAX_SIZE",
+    "DEFAULT_TOP_K",
+    "dataset_ncp",
+    "extend_dataset",
+    "pair_relative_error",
+    "relative_error",
+    "relative_error_chunks",
+    "relative_error_generalized",
+    "relative_error_reconstructed",
+    "term_ncp",
+    "terms_in_rank_range",
+    "terms_lost",
+    "tkd_chunks",
+    "tkd_ml2",
+    "tkd_ml2_disassociated",
+    "tkd_reconstructed",
+    "tlost",
+    "top_k_deviation",
+]

@@ -1,0 +1,83 @@
+"""Top-K deviation (tKd) metric — paper Section 6, Equation 2.
+
+``tKd = 1 - |FI ∩ FI'| / |FI|`` where ``FI`` are the top-K frequent
+itemsets of the original dataset and ``FI'`` those of the published data.
+A value of 0 means every top-K itemset survived anonymization; 1 means all
+were lost.
+
+Two variants are used in the experiments:
+
+* **tKd** -- the published side is a *reconstructed* dataset (associations
+  across chunks are re-combined),
+* **tKd-a** -- the published side is the *chunk dataset* (only associations
+  that are certain to exist, i.e. sub-records inside record/shared chunks
+  plus one appearance per term-chunk term).
+
+Both are computed by :func:`top_k_deviation`; the caller decides which
+representation of the published data to pass.
+"""
+
+from __future__ import annotations
+
+from repro.core.clusters import DisassociatedDataset
+from repro.core.dataset import TransactionDataset
+from repro.core.reconstruct import Reconstructor
+from repro.exceptions import MiningError
+from repro.mining.itemsets import top_k_itemset_set
+
+#: Number of top frequent itemsets compared by default (the paper uses 1000).
+DEFAULT_TOP_K = 1000
+
+#: Maximum itemset size considered when ranking frequent itemsets.
+DEFAULT_MAX_SIZE = 3
+
+
+def top_k_deviation(
+    original: TransactionDataset,
+    published: TransactionDataset,
+    top_k: int = DEFAULT_TOP_K,
+    max_size: int = DEFAULT_MAX_SIZE,
+) -> float:
+    """tKd between the original dataset and any published transaction dataset.
+
+    Args:
+        original: the original dataset.
+        published: the published data rendered as transactions (a
+            reconstruction, a chunk dataset, a DiffPart output, ...).
+        top_k: how many top frequent itemsets to compare.
+        max_size: maximum itemset size considered.
+
+    Returns:
+        The deviation in [0, 1]; 0 when the published data preserves every
+        top-K itemset of the original.
+    """
+    if top_k < 1:
+        raise MiningError(f"top_k must be >= 1, got {top_k}")
+    original_top = top_k_itemset_set(original, top_k, max_size)
+    if not original_top:
+        return 0.0
+    published_top = top_k_itemset_set(published, top_k, max_size)
+    preserved = len(original_top & published_top)
+    return 1.0 - preserved / len(original_top)
+
+
+def tkd_reconstructed(
+    original: TransactionDataset,
+    published: DisassociatedDataset,
+    top_k: int = DEFAULT_TOP_K,
+    max_size: int = DEFAULT_MAX_SIZE,
+    seed: int = 0,
+) -> float:
+    """tKd measured on one random reconstruction of the disassociated data."""
+    reconstruction = Reconstructor(published, seed=seed).reconstruct()
+    return top_k_deviation(original, reconstruction, top_k, max_size)
+
+
+def tkd_chunks(
+    original: TransactionDataset,
+    published: DisassociatedDataset,
+    top_k: int = DEFAULT_TOP_K,
+    max_size: int = DEFAULT_MAX_SIZE,
+) -> float:
+    """tKd-a: the variant computed only from record/shared chunk contents."""
+    return top_k_deviation(original, published.chunk_dataset(), top_k, max_size)

@@ -1,0 +1,38 @@
+"""tlost metric: frequent terms demoted to term chunks (paper Section 7.1).
+
+``tlost`` is the fraction of terms that have support at least ``k`` in the
+original dataset (so they *could* have been placed in a record chunk) but
+ended up only in term chunks, losing all their associations.
+"""
+
+from __future__ import annotations
+
+from repro.core.clusters import DisassociatedDataset
+from repro.core.dataset import TransactionDataset
+
+
+def terms_lost(original: TransactionDataset, published: DisassociatedDataset) -> frozenset:
+    """The frequent terms (support >= k) that appear only in term chunks."""
+    supports = original.term_supports()
+    frequent = {term for term, support in supports.items() if support >= published.k}
+    in_chunks = published.record_chunk_terms()
+    published_terms = published.domain()
+    return frozenset(
+        term
+        for term in frequent
+        if term in published_terms and term not in in_chunks
+    )
+
+
+def tlost(original: TransactionDataset, published: DisassociatedDataset) -> float:
+    """Fraction of frequent original terms that lost all their associations.
+
+    Returns 0 when every term with support >= k made it into some record or
+    shared chunk, 1 when none did.
+    """
+    supports = original.term_supports()
+    frequent = [term for term, support in supports.items() if support >= published.k]
+    if not frequent:
+        return 0.0
+    lost = terms_lost(original, published)
+    return len(lost) / len(frequent)

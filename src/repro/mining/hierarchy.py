@@ -1,0 +1,236 @@
+"""Generalization hierarchies for set-valued domains.
+
+The generalization baseline (Apriori anonymization, Terrovitis et al. 2008),
+the DiffPart baseline (whose top-down partitioning follows a taxonomy tree)
+and the tKd-ML2 metric all require a hierarchy over the term domain.  Real
+query-log / market-basket domains rarely ship with a semantic taxonomy, so
+— exactly like the original papers — we build *balanced fan-out hierarchies*
+over the (sorted) domain and treat interior nodes as generalized terms.
+
+The hierarchy is a rooted tree whose leaves are the original terms.  It
+exposes parent/ancestor navigation, leaf enumeration under a node, level
+queries and the NCP-style generalization cost used to pick minimal cuts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+from repro.exceptions import HierarchyError
+
+ROOT = "*"
+
+
+class GeneralizationHierarchy:
+    """A rooted generalization tree over a term domain.
+
+    Args:
+        parents: mapping ``node -> parent`` for every non-root node.  The
+            root is the single node that never appears as a key, or the
+            conventional ``"*"`` node.
+    """
+
+    def __init__(self, parents: dict):
+        self._parent = {str(child): str(parent) for child, parent in parents.items()}
+        children: dict[str, list[str]] = {}
+        for child, parent in self._parent.items():
+            children.setdefault(parent, []).append(child)
+        self._children = {node: sorted(kids) for node, kids in children.items()}
+        roots = set(self._children) - set(self._parent)
+        if len(roots) != 1:
+            raise HierarchyError(
+                f"hierarchy must have exactly one root, found {sorted(roots)!r}"
+            )
+        self._root = next(iter(roots))
+        self._leaves = frozenset(
+            node for node in self._parent if node not in self._children
+        )
+        self._validate_acyclic()
+        self._level_cache: dict[str, int] = {}
+        self._leaf_count_cache: dict[str, int] = {}
+        self._leaves_under_cache: dict[str, frozenset] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def balanced(cls, terms: Iterable, fanout: int = 4) -> "GeneralizationHierarchy":
+        """Build a balanced hierarchy with the given fan-out over ``terms``.
+
+        Terms become leaves (sorted for determinism); interior nodes are
+        synthetic labels ``g<level>_<index>`` and the root is ``"*"``.
+        """
+        if fanout < 2:
+            raise HierarchyError(f"fanout must be >= 2, got {fanout}")
+        leaves = sorted({str(t) for t in terms})
+        if not leaves:
+            raise HierarchyError("cannot build a hierarchy over an empty domain")
+        parents: dict[str, str] = {}
+        current = list(leaves)
+        level = 0
+        while len(current) > 1:
+            level += 1
+            next_level: list[str] = []
+            for index in range(0, len(current), fanout):
+                group = current[index : index + fanout]
+                if len(current) <= fanout:
+                    label = ROOT
+                else:
+                    label = f"g{level}_{index // fanout}"
+                for node in group:
+                    parents[node] = label
+                next_level.append(label)
+            current = next_level
+        if len(leaves) == 1:
+            parents[leaves[0]] = ROOT
+        return cls(parents)
+
+    def _validate_acyclic(self) -> None:
+        for node in self._parent:
+            seen = {node}
+            current = node
+            while current in self._parent:
+                current = self._parent[current]
+                if current in seen:
+                    raise HierarchyError(f"hierarchy contains a cycle through {node!r}")
+                seen.add(current)
+
+    # ------------------------------------------------------------------ #
+    # navigation
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> str:
+        return self._root
+
+    @property
+    def leaves(self) -> frozenset:
+        """The original (most specific) terms."""
+        return self._leaves
+
+    def is_leaf(self, node) -> bool:
+        return str(node) in self._leaves
+
+    def parent(self, node) -> Optional[str]:
+        """Parent of ``node`` (``None`` for the root)."""
+        node = str(node)
+        if node == self._root:
+            return None
+        try:
+            return self._parent[node]
+        except KeyError:
+            raise HierarchyError(f"unknown hierarchy node: {node!r}") from None
+
+    def children(self, node) -> list[str]:
+        return list(self._children.get(str(node), []))
+
+    def ancestors(self, node, include_self: bool = False) -> list[str]:
+        """Ancestors from parent to root (optionally prefixed by the node itself)."""
+        node = str(node)
+        result = [node] if include_self else []
+        current = self.parent(node)
+        while current is not None:
+            result.append(current)
+            current = self.parent(current)
+        return result
+
+    def level(self, node) -> int:
+        """Depth of the node: leaves have the maximum level, the root has 0."""
+        node = str(node)
+        if node not in self._level_cache:
+            self._level_cache[node] = len(self.ancestors(node))
+        return self._level_cache[node]
+
+    def leaves_under(self, node) -> frozenset:
+        """All original terms generalized by ``node`` (itself, for a leaf)."""
+        node = str(node)
+        if self.is_leaf(node):
+            return frozenset({node})
+        cached = self._leaves_under_cache.get(node)
+        if cached is not None:
+            return cached
+        stack = [node]
+        found: set = set()
+        while stack:
+            current = stack.pop()
+            kids = self._children.get(current)
+            if not kids:
+                found.add(current)
+            else:
+                stack.extend(kids)
+        result = frozenset(found)
+        self._leaves_under_cache[node] = result
+        return result
+
+    def leaf_count(self, node) -> int:
+        node = str(node)
+        if node not in self._leaf_count_cache:
+            self._leaf_count_cache[node] = len(self.leaves_under(node))
+        return self._leaf_count_cache[node]
+
+    def generalize(self, term, levels: int = 1) -> str:
+        """Generalize ``term`` by climbing ``levels`` steps (clamped at the root)."""
+        current = str(term)
+        for _ in range(levels):
+            parent = self.parent(current)
+            if parent is None:
+                break
+            current = parent
+        return current
+
+    def is_ancestor(self, node, descendant) -> bool:
+        """True when ``node`` is (a possibly improper) ancestor of ``descendant``."""
+        node, descendant = str(node), str(descendant)
+        if node == descendant:
+            return True
+        return node in self.ancestors(descendant)
+
+    # ------------------------------------------------------------------ #
+    # information loss
+    # ------------------------------------------------------------------ #
+    def ncp(self, node) -> float:
+        """Normalized Certainty Penalty of publishing ``node`` instead of a leaf.
+
+        0 for leaves, 1 for the root, ``leaf_count/|domain|`` in between --
+        the standard generalization cost used by [27] to choose cuts.
+        """
+        node = str(node)
+        if self.is_leaf(node):
+            return 0.0
+        total = len(self._leaves)
+        if total <= 1:
+            return 1.0
+        return self.leaf_count(node) / total
+
+    def generalize_record(self, record: Iterable, cut: dict) -> frozenset:
+        """Apply a generalization *cut* (term -> generalized node) to a record."""
+        return frozenset(str(cut.get(str(t), str(t))) for t in record)
+
+    def all_nodes(self) -> list[str]:
+        """Every node of the hierarchy (leaves, interior nodes and the root)."""
+        return sorted(set(self._parent) | set(self._children) | {self._root})
+
+
+def expand_with_ancestors(
+    record: Iterable, hierarchy: GeneralizationHierarchy, include_root: bool = False
+) -> frozenset:
+    """Extend a record with the ancestors of its terms (multi-level mining).
+
+    Used by the tKd-ML2 metric: mining the extended transactions finds
+    generalized frequent itemsets at every level of the hierarchy (Han & Fu,
+    VLDB 1995).  Unknown terms (e.g. already-generalized labels) are kept
+    as-is together with whatever ancestors the hierarchy knows about them.
+    """
+    extended: set = set()
+    for term in record:
+        term = str(term)
+        extended.add(term)
+        try:
+            ancestors: Sequence[str] = hierarchy.ancestors(term)
+        except HierarchyError:
+            ancestors = []
+        for ancestor in ancestors:
+            if ancestor == hierarchy.root and not include_root:
+                continue
+            extended.add(ancestor)
+    return frozenset(extended)

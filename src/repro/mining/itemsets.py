@@ -1,0 +1,103 @@
+"""Itemset utilities shared by the mining algorithms and the metrics.
+
+The information-loss metrics of the paper (Section 6) compare frequent
+itemsets and pair supports between the original and the published data, and
+the baselines (Apriori anonymization, suppression) repeatedly count the
+support of small term combinations.  This module provides the common
+primitives:
+
+* :func:`itemset_supports` -- exact supports of all itemsets up to a size,
+* :func:`pair_supports` -- supports of all 2-itemsets over a given domain,
+* :func:`top_k_itemsets` -- the K most frequent itemsets (used by tKd).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from itertools import combinations
+
+from repro.core.dataset import TransactionDataset
+from repro.exceptions import MiningError
+
+
+def canonical(itemset: Iterable) -> tuple:
+    """Canonical (sorted tuple of strings) representation of an itemset."""
+    return tuple(sorted(str(t) for t in itemset))
+
+
+def itemset_supports(
+    dataset: TransactionDataset,
+    max_size: int,
+    restrict_to: Iterable = None,
+) -> Counter:
+    """Exact supports of every itemset of size 1..``max_size`` present in ``dataset``.
+
+    Args:
+        dataset: the transaction dataset.
+        max_size: maximum itemset cardinality to enumerate.
+        restrict_to: optional term subset; records are projected onto it
+            before enumeration (keeps the enumeration tractable when only a
+            slice of the domain matters, e.g. the ``re`` metric ranges).
+
+    Returns:
+        Counter mapping canonical itemsets to their supports.
+    """
+    if max_size < 1:
+        raise MiningError(f"max_size must be >= 1, got {max_size}")
+    keep = None if restrict_to is None else frozenset(str(t) for t in restrict_to)
+    counts: Counter = Counter()
+    for record in dataset:
+        terms = record if keep is None else (record & keep)
+        if not terms:
+            continue
+        ordered = sorted(terms)
+        top = min(max_size, len(ordered))
+        for size in range(1, top + 1):
+            counts.update(combinations(ordered, size))
+    return counts
+
+
+def pair_supports(dataset: TransactionDataset, terms: Sequence) -> Counter:
+    """Supports of every pair of ``terms`` in ``dataset`` (including zero pairs).
+
+    Unlike :func:`itemset_supports`, absent pairs are reported with support
+    0 so the relative-error metric can penalize combinations invented or
+    destroyed by an anonymization method.
+    """
+    term_list = [str(t) for t in terms]
+    counts = itemset_supports(dataset, max_size=2, restrict_to=term_list)
+    result: Counter = Counter()
+    for pair in combinations(sorted(term_list), 2):
+        result[pair] = counts.get(pair, 0)
+    return result
+
+
+def top_k_itemsets(
+    dataset: TransactionDataset,
+    top_k: int,
+    max_size: int = 3,
+    min_support: int = 1,
+) -> list[tuple[tuple, int]]:
+    """The ``top_k`` most frequent itemsets of size 1..``max_size``.
+
+    Ties are broken deterministically (higher support first, then smaller
+    itemsets, then lexicographic order) so results are reproducible across
+    runs and platforms.
+
+    Returns:
+        List of ``(itemset, support)`` pairs, most frequent first.
+    """
+    if top_k < 1:
+        raise MiningError(f"top_k must be >= 1, got {top_k}")
+    counts = itemset_supports(dataset, max_size=max_size)
+    eligible = [(itemset, s) for itemset, s in counts.items() if s >= min_support]
+    eligible.sort(key=lambda pair: (-pair[1], len(pair[0]), pair[0]))
+    return eligible[:top_k]
+
+
+def top_k_itemset_set(
+    dataset: TransactionDataset, top_k: int, max_size: int = 3
+) -> set[tuple]:
+    """Just the itemsets (no supports) of :func:`top_k_itemsets`, as a set."""
+    return {itemset for itemset, _support in top_k_itemsets(dataset, top_k, max_size)}

@@ -1,0 +1,98 @@
+"""Unit tests for the analysis toolkit (repro.analysis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.estimation import SupportEstimator
+from repro.analysis.queries import (
+    containment_ratio,
+    cooccurrence_count,
+    frequent_pairs,
+    rule_confidence,
+    top_terms,
+)
+from repro.core.clusters import DisassociatedDataset, RecordChunk, SimpleCluster, TermChunk
+from repro.core.dataset import TransactionDataset
+
+
+class TestQueries:
+    def test_top_terms(self, tiny_dataset):
+        assert top_terms(tiny_dataset, count=2) == [("a", 5), ("b", 5)]
+
+    def test_top_terms_count_clamps(self, tiny_dataset):
+        assert len(top_terms(tiny_dataset, count=100)) == 4
+
+    def test_cooccurrence_count(self, tiny_dataset):
+        assert cooccurrence_count(tiny_dataset, {"a", "b"}) == 4
+
+    def test_containment_ratio(self, tiny_dataset):
+        assert containment_ratio(tiny_dataset, {"a", "b"}) == pytest.approx(4 / 6)
+
+    def test_containment_ratio_empty_dataset(self):
+        assert containment_ratio(TransactionDataset([]), {"a"}) == 0.0
+
+    def test_rule_confidence(self, tiny_dataset):
+        assert rule_confidence(tiny_dataset, {"a"}, {"b"}) == pytest.approx(4 / 5)
+
+    def test_rule_confidence_undefined(self, tiny_dataset):
+        assert rule_confidence(tiny_dataset, {"missing"}, {"b"}) is None
+
+    def test_frequent_pairs(self, tiny_dataset):
+        pairs = frequent_pairs(tiny_dataset, min_support=2)
+        assert pairs[0] == (("a", "b"), 4)
+        assert all(support >= 2 for _pair, support in pairs)
+
+
+class TestSupportEstimator:
+    @pytest.fixture
+    def published(self) -> DisassociatedDataset:
+        chunk_ab = RecordChunk({"a", "b"}, [{"a", "b"}, {"a", "b"}, {"a"}])
+        chunk_c = RecordChunk({"c"}, [{"c"}, {"c"}, {"c"}])
+        cluster = SimpleCluster(4, [chunk_ab, chunk_c], TermChunk({"z"}), label="P0")
+        return DisassociatedDataset([cluster], k=2, m=2)
+
+    def test_lower_bound_matches_dataset_method(self, published):
+        estimator = SupportEstimator(published)
+        assert estimator.lower_bound({"a", "b"}) == 2
+        assert estimator.lower_bound({"z"}) == 1
+        assert estimator.lower_bound({"a", "c"}) == 0
+
+    def test_expected_support_single_term(self, published):
+        estimator = SupportEstimator(published)
+        assert estimator.expected_support({"a"}) == pytest.approx(3.0)
+        assert estimator.expected_support({"c"}) == pytest.approx(3.0)
+
+    def test_expected_support_cross_chunk_pair(self, published):
+        estimator = SupportEstimator(published)
+        # independence model: 4 * (3/4) * (3/4) = 2.25
+        assert estimator.expected_support({"a", "c"}) == pytest.approx(2.25)
+
+    def test_expected_support_term_chunk_term(self, published):
+        estimator = SupportEstimator(published)
+        assert estimator.expected_support({"z"}) == pytest.approx(1.0)
+
+    def test_expected_support_unknown_term_is_zero(self, published):
+        estimator = SupportEstimator(published)
+        assert estimator.expected_support({"nope"}) == 0.0
+
+    def test_expected_support_empty_itemset_is_total(self, published):
+        estimator = SupportEstimator(published)
+        assert estimator.expected_support(set()) == 4.0
+
+    def test_reconstructed_support_between_bounds(self, published):
+        estimator = SupportEstimator(published, seed=0)
+        value = estimator.reconstructed_support({"a"}, reconstructions=4)
+        assert value == pytest.approx(3.0)
+
+    def test_estimates_on_pipeline_output(self, skewed_dataset, skewed_published):
+        estimator = SupportEstimator(skewed_published, seed=1)
+        for term in list(skewed_published.record_chunk_terms())[:5]:
+            original = skewed_dataset.support({term})
+            assert estimator.lower_bound({term}) <= original
+            assert estimator.expected_support({term}) <= original + 1e-9
+
+    def test_expected_support_on_joint_clusters(self, paper_published):
+        estimator = SupportEstimator(paper_published, seed=0)
+        # madonna appears in record chunks of both paper clusters
+        assert estimator.expected_support({"madonna"}) > 0

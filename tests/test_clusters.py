@@ -1,0 +1,265 @@
+"""Unit tests for the published-data model (repro.core.clusters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clusters import (
+    DisassociatedDataset,
+    JointCluster,
+    RecordChunk,
+    SharedChunk,
+    SimpleCluster,
+    TermChunk,
+    cluster_from_dict,
+)
+from repro.exceptions import DatasetFormatError
+
+
+@pytest.fixture
+def p1_cluster() -> SimpleCluster:
+    """Cluster P1 of Figure 2b."""
+    c1 = RecordChunk(
+        {"itunes", "flu", "madonna"},
+        [
+            {"itunes", "flu", "madonna"},
+            {"madonna", "flu"},
+            {"itunes", "madonna"},
+            {"itunes", "flu"},
+            {"itunes", "flu", "madonna"},
+        ],
+    )
+    c2 = RecordChunk(
+        {"audi a4", "sony tv"},
+        [{"audi a4", "sony tv"}, {"audi a4", "sony tv"}, {"audi a4", "sony tv"}],
+    )
+    term_chunk = TermChunk({"ikea", "viagra", "ruby"})
+    return SimpleCluster(size=5, record_chunks=[c1, c2], term_chunk=term_chunk, label="P1")
+
+
+@pytest.fixture
+def p2_cluster() -> SimpleCluster:
+    """Cluster P2 of Figure 2b."""
+    c1 = RecordChunk(
+        {"iphone sdk", "digital camera", "madonna"},
+        [
+            {"madonna", "digital camera"},
+            {"iphone sdk", "madonna"},
+            {"iphone sdk", "digital camera", "madonna"},
+            {"iphone sdk", "digital camera"},
+            {"iphone sdk", "digital camera", "madonna"},
+        ],
+    )
+    term_chunk = TermChunk({"panic disorder", "playboy", "ikea", "ruby"})
+    return SimpleCluster(size=5, record_chunks=[c1], term_chunk=term_chunk, label="P2")
+
+
+@pytest.fixture
+def joint_cluster(p1_cluster, p2_cluster) -> JointCluster:
+    """The joint cluster of Figure 3 (shared chunk over {ikea, ruby})."""
+    shared = SharedChunk(
+        {"ikea", "ruby"},
+        [{"ikea", "ruby"}, {"ruby"}, {"ikea"}, {"ikea", "ruby"}, {"ikea", "ruby"}],
+        contributions={"P1": 3, "P2": 2},
+    )
+    # the lifted terms leave the member term chunks
+    p1_cluster.term_chunk = TermChunk({"viagra"})
+    p2_cluster.term_chunk = TermChunk({"panic disorder", "playboy"})
+    return JointCluster([p1_cluster, p2_cluster], shared_chunks=[shared], label="J1")
+
+
+class TestRecordChunk:
+    def test_drops_empty_subrecords(self):
+        chunk = RecordChunk({"a"}, [{"a"}, set(), {"a"}])
+        assert len(chunk) == 2
+
+    def test_term_supports(self, p1_cluster):
+        supports = p1_cluster.record_chunks[0].term_supports()
+        assert supports["itunes"] == 4
+        assert supports["madonna"] == 4
+        assert supports["flu"] == 4
+
+    def test_support_of_contained_pair(self, p1_cluster):
+        assert p1_cluster.record_chunks[0].support({"itunes", "flu"}) == 3
+
+    def test_support_of_pair_outside_domain_is_zero(self, p1_cluster):
+        assert p1_cluster.record_chunks[0].support({"itunes", "audi a4"}) == 0
+
+    def test_equality_ignores_subrecord_order(self):
+        a = RecordChunk({"x", "y"}, [{"x"}, {"x", "y"}])
+        b = RecordChunk({"x", "y"}, [{"x", "y"}, {"x"}])
+        assert a == b
+
+    def test_serialization_round_trip(self, p1_cluster):
+        chunk = p1_cluster.record_chunks[0]
+        assert RecordChunk.from_dict(chunk.to_dict()) == chunk
+
+    def test_from_dict_rejects_malformed_payload(self):
+        with pytest.raises(DatasetFormatError):
+            RecordChunk.from_dict({"domain": ["a"]})
+
+
+class TestSharedChunk:
+    def test_contributions_survive_round_trip(self, joint_cluster):
+        shared = joint_cluster.shared_chunks[0]
+        rebuilt = SharedChunk.from_dict(shared.to_dict())
+        assert rebuilt.contributions == {"P1": 3, "P2": 2}
+        assert rebuilt == shared
+
+    def test_is_a_record_chunk(self, joint_cluster):
+        assert isinstance(joint_cluster.shared_chunks[0], RecordChunk)
+
+
+class TestTermChunk:
+    def test_contains_and_len(self):
+        chunk = TermChunk({"a", "b"})
+        assert "a" in chunk
+        assert "z" not in chunk
+        assert len(chunk) == 2
+
+    def test_empty_term_chunk(self):
+        assert len(TermChunk()) == 0
+
+    def test_round_trip(self):
+        chunk = TermChunk({"x", "y"})
+        assert TermChunk.from_dict(chunk.to_dict()) == chunk
+
+    def test_terms_normalized_to_strings(self):
+        assert "1" in TermChunk({1})
+
+
+class TestSimpleCluster:
+    def test_record_chunk_terms(self, p1_cluster):
+        assert p1_cluster.record_chunk_terms() == frozenset(
+            {"itunes", "flu", "madonna", "audi a4", "sony tv"}
+        )
+
+    def test_domain_includes_term_chunk(self, p1_cluster):
+        assert "viagra" in p1_cluster.domain()
+
+    def test_total_subrecords(self, p1_cluster):
+        assert p1_cluster.total_subrecords() == 8
+
+    def test_leaves_is_self(self, p1_cluster):
+        assert p1_cluster.leaves() == [p1_cluster]
+
+    def test_no_shared_chunks(self, p1_cluster):
+        assert list(p1_cluster.iter_shared_chunks()) == []
+
+    def test_original_records_not_serialized(self, p1_cluster):
+        payload = p1_cluster.to_dict()
+        assert "original_records" not in payload
+        rebuilt = SimpleCluster.from_dict(payload)
+        assert rebuilt.original_records is None
+
+    def test_round_trip_preserves_structure(self, p1_cluster):
+        rebuilt = SimpleCluster.from_dict(p1_cluster.to_dict())
+        assert rebuilt.size == 5
+        assert rebuilt.label == "P1"
+        assert len(rebuilt.record_chunks) == 2
+        assert rebuilt.term_chunk == p1_cluster.term_chunk
+
+    def test_default_label_is_generated(self):
+        cluster = SimpleCluster(1, [], TermChunk({"a"}))
+        assert cluster.label
+
+
+class TestJointCluster:
+    def test_size_sums_leaves(self, joint_cluster):
+        assert joint_cluster.size == 10
+
+    def test_leaves_returns_simple_clusters(self, joint_cluster):
+        assert {leaf.label for leaf in joint_cluster.leaves()} == {"P1", "P2"}
+
+    def test_record_chunk_terms_include_shared_chunks(self, joint_cluster):
+        terms = joint_cluster.record_chunk_terms()
+        assert "ikea" in terms and "ruby" in terms
+        assert "madonna" in terms
+
+    def test_term_chunk_terms_exclude_lifted_terms(self, joint_cluster):
+        assert joint_cluster.term_chunk_terms() == frozenset(
+            {"viagra", "panic disorder", "playboy"}
+        )
+
+    def test_iter_shared_chunks(self, joint_cluster):
+        assert len(list(joint_cluster.iter_shared_chunks())) == 1
+
+    def test_round_trip(self, joint_cluster):
+        rebuilt = JointCluster.from_dict(joint_cluster.to_dict())
+        assert rebuilt.size == 10
+        assert len(rebuilt.shared_chunks) == 1
+        assert {leaf.label for leaf in rebuilt.leaves()} == {"P1", "P2"}
+
+    def test_nested_joint_clusters(self, joint_cluster, p1_cluster):
+        extra_leaf = SimpleCluster(2, [], TermChunk({"zzz"}), label="P3")
+        parent = JointCluster([joint_cluster, extra_leaf], shared_chunks=[], label="J2")
+        assert parent.size == 12
+        assert len(parent.leaves()) == 3
+        assert len(list(parent.iter_shared_chunks())) == 1
+
+
+class TestClusterFromDict:
+    def test_dispatches_on_type(self, p1_cluster, joint_cluster):
+        assert isinstance(cluster_from_dict(p1_cluster.to_dict()), SimpleCluster)
+        assert isinstance(cluster_from_dict(joint_cluster.to_dict()), JointCluster)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(DatasetFormatError):
+            cluster_from_dict({"type": "mystery"})
+
+
+class TestDisassociatedDataset:
+    @pytest.fixture
+    def published(self, joint_cluster) -> DisassociatedDataset:
+        return DisassociatedDataset([joint_cluster], k=3, m=2)
+
+    def test_total_records(self, published):
+        assert published.total_records() == 10
+
+    def test_simple_clusters(self, published):
+        assert len(published.simple_clusters()) == 2
+
+    def test_domain(self, published):
+        domain = published.domain()
+        assert "ikea" in domain and "viagra" in domain and "iphone sdk" in domain
+
+    def test_record_chunk_terms(self, published):
+        assert "audi a4" in published.record_chunk_terms()
+        assert "viagra" not in published.record_chunk_terms()
+
+    def test_term_chunk_only_terms(self, published):
+        only = published.term_chunk_only_terms()
+        assert "viagra" in only
+        assert "madonna" not in only
+
+    def test_lower_bound_support_single_term_in_chunks(self, published):
+        assert published.lower_bound_support({"madonna"}) == 4 + 4
+
+    def test_lower_bound_support_term_chunk_term(self, published):
+        assert published.lower_bound_support({"viagra"}) == 1
+
+    def test_lower_bound_support_pair_within_chunk(self, published):
+        assert published.lower_bound_support({"audi a4", "sony tv"}) == 3
+
+    def test_lower_bound_support_cross_chunk_pair_is_zero(self, published):
+        assert published.lower_bound_support({"madonna", "audi a4"}) == 0
+
+    def test_chunk_dataset_contains_all_subrecords(self, published):
+        chunk_dataset = published.chunk_dataset()
+        # 8 (P1 record chunks) + 5 (P2 record chunk) + 5 (shared chunk)
+        # + 3 (term-chunk singleton markers)
+        assert len(chunk_dataset) == 8 + 5 + 5 + 3
+
+    def test_round_trip(self, published):
+        rebuilt = DisassociatedDataset.from_dict(published.to_dict())
+        assert rebuilt.k == 3 and rebuilt.m == 2
+        assert rebuilt.total_records() == 10
+        assert rebuilt.domain() == published.domain()
+
+    def test_from_dict_rejects_malformed_payload(self):
+        with pytest.raises(DatasetFormatError):
+            DisassociatedDataset.from_dict({"k": 3})
+
+    def test_iteration_and_len(self, published):
+        assert len(published) == 1
+        assert list(iter(published)) == published.clusters

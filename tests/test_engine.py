@@ -1,0 +1,138 @@
+"""Unit and integration tests for the end-to-end engine (repro.core.engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import TransactionDataset
+from repro.core.engine import AnonymizationParams, Disassociator, anonymize
+from repro.core.verification import audit
+from repro.exceptions import ParameterError
+from tests.conftest import make_uniform_dataset
+
+
+class TestAnonymizationParams:
+    def test_defaults_match_paper(self):
+        params = AnonymizationParams()
+        assert params.k == 5 and params.m == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        {"k": 0},
+        {"m": 0},
+        {"max_cluster_size": 1},
+        {"k": 10, "max_cluster_size": 10},
+        {"max_cluster_size": 30, "max_join_size": 10},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            AnonymizationParams(**kwargs)
+
+    def test_sensitive_terms_normalized_to_strings(self):
+        params = AnonymizationParams(sensitive_terms={1, "x"})
+        assert params.sensitive_terms == frozenset({"1", "x"})
+
+    def test_params_are_frozen(self):
+        params = AnonymizationParams()
+        with pytest.raises(AttributeError):
+            params.k = 10
+
+
+class TestDisassociator:
+    def test_output_is_km_anonymous(self, paper_dataset):
+        published = anonymize(paper_dataset, k=3, m=2, max_cluster_size=6)
+        assert audit(published).ok
+
+    def test_total_records_preserved(self, paper_dataset):
+        published = anonymize(paper_dataset, k=3, m=2, max_cluster_size=6)
+        assert published.total_records() == len(paper_dataset)
+
+    def test_all_original_terms_published(self, paper_dataset):
+        published = anonymize(paper_dataset, k=3, m=2, max_cluster_size=6)
+        assert published.domain() == paper_dataset.domain
+
+    def test_parameters_recorded_on_output(self, paper_dataset):
+        published = anonymize(paper_dataset, k=3, m=2, max_cluster_size=6)
+        assert published.k == 3 and published.m == 2
+
+    def test_report_is_filled(self, paper_dataset):
+        engine = Disassociator(AnonymizationParams(k=3, m=2, max_cluster_size=6))
+        engine.anonymize(paper_dataset)
+        report = engine.last_report
+        assert report.num_records == 10
+        assert report.num_clusters >= 1
+        assert report.total_seconds >= 0
+
+    def test_refine_disabled_produces_only_simple_clusters(self, paper_dataset):
+        from repro.core.clusters import SimpleCluster
+
+        published = anonymize(paper_dataset, k=3, m=2, max_cluster_size=6, refine=False)
+        assert all(isinstance(c, SimpleCluster) for c in published.clusters)
+        assert audit(published).ok
+
+    def test_higher_k_pushes_more_terms_to_term_chunks(self):
+        dataset = make_uniform_dataset(80, domain=25, record_length=5, seed=11)
+        loose = anonymize(dataset, k=2, m=2, max_cluster_size=20)
+        strict = anonymize(dataset, k=8, m=2, max_cluster_size=20)
+        assert len(strict.record_chunk_terms()) <= len(loose.record_chunk_terms())
+
+    def test_m_of_one_reduces_to_per_term_threshold(self, paper_dataset):
+        published = anonymize(paper_dataset, k=3, m=1, max_cluster_size=12)
+        assert audit(published).ok
+
+    def test_single_record_dataset(self):
+        published = anonymize(TransactionDataset([{"a", "b"}]), k=2, m=2, max_cluster_size=5)
+        assert published.total_records() == 1
+        # a single record can never reach support 2: everything is disassociated
+        assert published.record_chunk_terms() == frozenset()
+        assert audit(published).ok
+
+    def test_duplicate_records_dataset(self):
+        published = anonymize(TransactionDataset([{"a", "b"}] * 10), k=3, m=2, max_cluster_size=6)
+        assert audit(published).ok
+        assert published.lower_bound_support({"a", "b"}) >= 3
+
+    def test_uniform_dataset_end_to_end(self):
+        dataset = make_uniform_dataset(120, domain=40, record_length=4, seed=5)
+        published = anonymize(dataset, k=4, m=2, max_cluster_size=25)
+        assert audit(published).ok
+        assert published.total_records() == 120
+
+    def test_anonymize_function_matches_class_api(self, paper_dataset):
+        params = AnonymizationParams(k=3, m=2, max_cluster_size=6)
+        via_class = Disassociator(params).anonymize(paper_dataset)
+        via_function = anonymize(paper_dataset, k=3, m=2, max_cluster_size=6)
+        assert via_class.to_dict() == via_function.to_dict()
+
+
+class TestSensitiveTerms:
+    def test_sensitive_terms_never_appear_in_record_chunks(self, paper_dataset):
+        sensitive = {"viagra", "panic disorder"}
+        published = anonymize(
+            paper_dataset, k=3, m=2, max_cluster_size=6, sensitive_terms=sensitive
+        )
+        assert not (published.record_chunk_terms() & sensitive)
+
+    def test_sensitive_terms_still_published_in_term_chunks(self, paper_dataset):
+        sensitive = {"viagra", "panic disorder"}
+        published = anonymize(
+            paper_dataset, k=3, m=2, max_cluster_size=6, sensitive_terms=sensitive
+        )
+        assert sensitive <= set(published.domain())
+
+    def test_sensitive_output_still_km_anonymous(self, paper_dataset):
+        published = anonymize(
+            paper_dataset, k=3, m=2, max_cluster_size=6, sensitive_terms={"madonna"}
+        )
+        assert audit(published).ok
+
+    def test_record_count_preserved_with_sensitive_terms(self, paper_dataset):
+        published = anonymize(
+            paper_dataset, k=3, m=2, max_cluster_size=6, sensitive_terms={"madonna"}
+        )
+        assert published.total_records() == len(paper_dataset)
+
+    def test_all_sensitive_record_is_preserved(self):
+        dataset = TransactionDataset([{"s"}, {"s", "x"}, {"x"}, {"x", "s"}])
+        published = anonymize(dataset, k=2, m=2, max_cluster_size=3, sensitive_terms={"s"})
+        assert published.total_records() == 4
+        assert "s" in published.domain()

@@ -1,0 +1,165 @@
+"""Integration tests for the experiment harness (small configurations).
+
+These do not assert the paper's numbers (that is the benchmark suite's job);
+they check that every driver runs end to end, returns well-formed rows and
+produces metric values in their legal ranges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure07, figure08, figure09, figure10, figure11, ablations
+from repro.experiments.harness import ExperimentConfig, evaluate, format_table, run_dataset
+
+#: Tiny configuration so the whole module runs in seconds.
+SMALL = ExperimentConfig(
+    scale=0.002,
+    domain_scale=0.05,
+    top_k=30,
+    max_cluster_size=15,
+    re_range=(10, 20),
+    datasets=("WV1",),
+    seed=3,
+)
+
+
+def assert_metric_row(row: dict) -> None:
+    for key in ("tkd_a", "tkd", "re_a", "re", "tlost"):
+        assert key in row
+        upper = 1.0 if key.startswith("tkd") or key == "tlost" else 2.0
+        assert 0.0 <= row[key] <= upper, f"{key}={row[key]} out of range"
+
+
+class TestHarness:
+    def test_run_dataset_produces_metrics(self):
+        run = run_dataset("WV1", SMALL)
+        assert run.dataset_name == "WV1"
+        assert run.seconds >= 0
+        assert_metric_row(run.metrics)
+
+    def test_evaluate_is_deterministic(self):
+        run = run_dataset("WV1", SMALL)
+        again = evaluate(run.original, run.published, SMALL)
+        assert again == run.metrics
+
+    def test_with_overrides_returns_modified_copy(self):
+        other = SMALL.with_overrides(k=7)
+        assert other.k == 7 and SMALL.k == 5
+
+    def test_format_table_renders_all_rows(self):
+        rows = [{"x": 1, "y": 0.5}, {"x": 2, "y": None}]
+        text = format_table(rows)
+        assert "x" in text and "1" in text and "-" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestFigure7Drivers:
+    def test_fig7a(self):
+        rows = figure07.run_fig7a(SMALL)
+        assert len(rows) == 1
+        assert_metric_row(rows[0])
+
+    def test_fig7b(self):
+        rows = figure07.run_fig7b(SMALL, ks=(2, 4), dataset="WV1")
+        assert [row["k"] for row in rows] == [2, 4]
+        for row in rows:
+            assert 0.0 <= row["tkd_a"] <= 1.0 and 0.0 <= row["tkd"] <= 1.0
+
+    def test_fig7c(self):
+        rows = figure07.run_fig7c(SMALL, ks=(2, 4), dataset="WV1")
+        for row in rows:
+            assert 0.0 <= row["re"] <= 2.0 and 0.0 <= row["tlost"] <= 1.0
+
+    def test_fig7d(self):
+        rows = figure07.run_fig7d(
+            SMALL, ranges=((0, 10),), reconstruction_counts=(1, 2), dataset="WV1"
+        )
+        assert rows
+        assert "re_r1" in rows[0] and "re_r2" in rows[0]
+
+    def test_paper_reference_notes_exist(self):
+        for figure in ("7a", "7b", "7c", "7d"):
+            assert figure07.paper_reference(figure)
+        assert figure07.paper_reference("99") is None
+
+
+class TestFigure8Drivers:
+    def test_fig8a_8b(self):
+        rows = figure08.run_fig8a_8b(SMALL, sizes=(200, 400), domain_size=80)
+        assert [row["records"] for row in rows] == [200, 400]
+        for row in rows:
+            assert_metric_row(row)
+
+    def test_fig8c(self):
+        rows = figure08.run_fig8c(SMALL, domains=(60, 120), num_records=300)
+        assert [row["domain"] for row in rows] == [60, 120]
+
+    def test_fig8d(self):
+        rows = figure08.run_fig8d(SMALL, record_lengths=(4, 8), num_records=300, domain_size=80)
+        assert [row["record_length"] for row in rows] == [4, 8]
+
+
+class TestPerformanceDrivers:
+    def test_fig9a(self):
+        rows = figure09.run_fig9a(SMALL)
+        assert rows[0]["seconds"] >= 0 and rows[0]["records"] > 0
+
+    def test_fig9b(self):
+        rows = figure09.run_fig9b(SMALL, ks=(2, 4), dataset="WV1")
+        assert len(rows) == 2
+
+    def test_fig10a_and_linearity(self):
+        rows = figure10.run_fig10a(SMALL, sizes=(150, 300), domain_size=60)
+        assert len(rows) == 2
+        assert figure10.linearity_ratio(rows, "records") > 0
+
+    def test_fig10b(self):
+        rows = figure10.run_fig10b(SMALL, domains=(50, 100), num_records=200)
+        assert len(rows) == 2
+
+    def test_linearity_ratio_degenerate_input(self):
+        assert figure10.linearity_ratio([], "records") == 1.0
+        assert figure10.linearity_ratio([{"records": 10, "seconds": 0.0}], "records") == 1.0
+
+
+class TestFigure11Drivers:
+    def test_fig11a(self):
+        rows = figure11.run_fig11a(SMALL, epsilons=(1.0,))
+        row = rows[0]
+        assert 0.0 <= row["disassociation"] <= 1.0
+        assert 0.0 <= row["diffpart"] <= 1.0
+
+    def test_fig11b(self):
+        rows = figure11.run_fig11b(SMALL)
+        row = rows[0]
+        assert 0.0 <= row["disassociation"] <= 1.0
+        assert 0.0 <= row["apriori"] <= 1.0
+
+    def test_fig11c(self):
+        rows = figure11.run_fig11c(SMALL, epsilons=(1.0,))
+        row = rows[0]
+        for method in ("disassociation", "diffpart", "apriori"):
+            assert 0.0 <= row[method] <= 2.0
+
+
+class TestAblations:
+    def test_cluster_size_ablation(self):
+        rows = ablations.run_cluster_size_ablation(SMALL, cluster_sizes=(10, 20), dataset="WV1")
+        assert [row["max_cluster_size"] for row in rows] == [10, 20]
+        for row in rows:
+            assert_metric_row(row)
+
+    def test_refine_ablation(self):
+        rows = ablations.run_refine_ablation(SMALL, dataset="WV1")
+        assert [row["refine"] for row in rows] == [True, False]
+
+    def test_suppression_comparison(self):
+        rows = ablations.run_suppression_comparison(SMALL, dataset="WV1", sample_size=80)
+        methods = {row["method"] for row in rows}
+        assert methods == {"disassociation", "suppression"}
+        for row in rows:
+            assert 0.0 <= row["terms_with_associations"] <= 1.0

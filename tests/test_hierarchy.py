@@ -1,0 +1,176 @@
+"""Unit tests for generalization hierarchies (repro.mining.hierarchy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HierarchyError
+from repro.mining.hierarchy import ROOT, GeneralizationHierarchy, expand_with_ancestors
+
+
+@pytest.fixture
+def manual_hierarchy() -> GeneralizationHierarchy:
+    """A small hand-built hierarchy:
+
+            *
+           / \\
+        food  tech
+        /  \\    \\
+     apple pear  phone
+    """
+    return GeneralizationHierarchy(
+        {
+            "apple": "food",
+            "pear": "food",
+            "phone": "tech",
+            "food": ROOT,
+            "tech": ROOT,
+        }
+    )
+
+
+class TestConstruction:
+    def test_root_detected(self, manual_hierarchy):
+        assert manual_hierarchy.root == ROOT
+
+    def test_leaves_detected(self, manual_hierarchy):
+        assert manual_hierarchy.leaves == frozenset({"apple", "pear", "phone"})
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(HierarchyError):
+            GeneralizationHierarchy({"a": "r1", "b": "r2"})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(HierarchyError):
+            GeneralizationHierarchy({"a": "b", "b": "a", "c": "a"})
+
+    def test_empty_domain_rejected_by_balanced(self):
+        with pytest.raises(HierarchyError):
+            GeneralizationHierarchy.balanced([])
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(HierarchyError):
+            GeneralizationHierarchy.balanced(["a", "b"], fanout=1)
+
+
+class TestNavigation:
+    def test_parent(self, manual_hierarchy):
+        assert manual_hierarchy.parent("apple") == "food"
+        assert manual_hierarchy.parent("food") == ROOT
+        assert manual_hierarchy.parent(ROOT) is None
+
+    def test_unknown_node_raises(self, manual_hierarchy):
+        with pytest.raises(HierarchyError):
+            manual_hierarchy.parent("banana")
+
+    def test_children(self, manual_hierarchy):
+        assert manual_hierarchy.children("food") == ["apple", "pear"]
+        assert manual_hierarchy.children("apple") == []
+
+    def test_ancestors(self, manual_hierarchy):
+        assert manual_hierarchy.ancestors("apple") == ["food", ROOT]
+        assert manual_hierarchy.ancestors("apple", include_self=True) == ["apple", "food", ROOT]
+        assert manual_hierarchy.ancestors(ROOT) == []
+
+    def test_level(self, manual_hierarchy):
+        assert manual_hierarchy.level(ROOT) == 0
+        assert manual_hierarchy.level("food") == 1
+        assert manual_hierarchy.level("apple") == 2
+
+    def test_leaves_under(self, manual_hierarchy):
+        assert manual_hierarchy.leaves_under("food") == frozenset({"apple", "pear"})
+        assert manual_hierarchy.leaves_under(ROOT) == manual_hierarchy.leaves
+        assert manual_hierarchy.leaves_under("apple") == frozenset({"apple"})
+
+    def test_leaf_count(self, manual_hierarchy):
+        assert manual_hierarchy.leaf_count("food") == 2
+        assert manual_hierarchy.leaf_count(ROOT) == 3
+
+    def test_generalize_climbs_levels(self, manual_hierarchy):
+        assert manual_hierarchy.generalize("apple") == "food"
+        assert manual_hierarchy.generalize("apple", levels=2) == ROOT
+        assert manual_hierarchy.generalize("apple", levels=10) == ROOT
+
+    def test_is_ancestor(self, manual_hierarchy):
+        assert manual_hierarchy.is_ancestor("food", "apple")
+        assert manual_hierarchy.is_ancestor(ROOT, "apple")
+        assert manual_hierarchy.is_ancestor("apple", "apple")
+        assert not manual_hierarchy.is_ancestor("tech", "apple")
+
+    def test_all_nodes(self, manual_hierarchy):
+        assert set(manual_hierarchy.all_nodes()) == {
+            "apple",
+            "pear",
+            "phone",
+            "food",
+            "tech",
+            ROOT,
+        }
+
+
+class TestBalancedHierarchy:
+    def test_all_terms_become_leaves(self):
+        terms = [f"t{i}" for i in range(37)]
+        hierarchy = GeneralizationHierarchy.balanced(terms, fanout=4)
+        assert hierarchy.leaves == frozenset(terms)
+
+    def test_every_leaf_reaches_the_root(self):
+        hierarchy = GeneralizationHierarchy.balanced([f"t{i}" for i in range(20)], fanout=3)
+        for leaf in hierarchy.leaves:
+            assert hierarchy.ancestors(leaf)[-1] == hierarchy.root
+
+    def test_fanout_is_respected(self):
+        hierarchy = GeneralizationHierarchy.balanced([f"t{i}" for i in range(64)], fanout=4)
+        for node in hierarchy.all_nodes():
+            assert len(hierarchy.children(node)) <= 4
+
+    def test_single_term_domain(self):
+        hierarchy = GeneralizationHierarchy.balanced(["only"])
+        assert hierarchy.leaves == frozenset({"only"})
+        assert hierarchy.parent("only") == hierarchy.root
+
+    def test_small_domain_goes_directly_under_root(self):
+        hierarchy = GeneralizationHierarchy.balanced(["a", "b", "c"], fanout=4)
+        assert hierarchy.parent("a") == hierarchy.root
+
+
+class TestNCP:
+    def test_leaf_ncp_is_zero(self, manual_hierarchy):
+        assert manual_hierarchy.ncp("apple") == 0.0
+
+    def test_root_ncp_is_one(self, manual_hierarchy):
+        assert manual_hierarchy.ncp(ROOT) == 1.0
+
+    def test_interior_ncp_is_fraction_of_domain(self, manual_hierarchy):
+        assert manual_hierarchy.ncp("food") == pytest.approx(2 / 3)
+
+
+class TestGeneralizeRecord:
+    def test_applies_cut(self, manual_hierarchy):
+        cut = {"apple": "food", "pear": "food", "phone": "phone"}
+        assert manual_hierarchy.generalize_record({"apple", "phone"}, cut) == frozenset(
+            {"food", "phone"}
+        )
+
+    def test_terms_missing_from_cut_are_kept(self, manual_hierarchy):
+        assert manual_hierarchy.generalize_record({"apple"}, {}) == frozenset({"apple"})
+
+
+class TestExpandWithAncestors:
+    def test_adds_interior_nodes(self, manual_hierarchy):
+        expanded = expand_with_ancestors({"apple"}, manual_hierarchy)
+        assert expanded == frozenset({"apple", "food"})
+
+    def test_root_excluded_by_default(self, manual_hierarchy):
+        assert ROOT not in expand_with_ancestors({"apple"}, manual_hierarchy)
+
+    def test_root_included_on_request(self, manual_hierarchy):
+        assert ROOT in expand_with_ancestors({"apple"}, manual_hierarchy, include_root=True)
+
+    def test_unknown_terms_are_kept_as_is(self, manual_hierarchy):
+        expanded = expand_with_ancestors({"mystery"}, manual_hierarchy)
+        assert "mystery" in expanded
+
+    def test_interior_node_input_expands_upwards(self, manual_hierarchy):
+        expanded = expand_with_ancestors({"food"}, manual_hierarchy)
+        assert expanded == frozenset({"food"})

@@ -1,0 +1,63 @@
+"""Unit tests for the FP-growth miner, cross-checked against Apriori."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import TransactionDataset
+from repro.exceptions import MiningError
+from repro.mining import apriori, fpgrowth
+
+
+class TestFPGrowthCorrectness:
+    def test_matches_apriori_on_paper_dataset(self, paper_dataset):
+        for min_support in (2, 3, 4):
+            assert fpgrowth.mine_frequent_itemsets(
+                paper_dataset, min_support
+            ) == apriori.mine_frequent_itemsets(paper_dataset, min_support)
+
+    def test_matches_apriori_on_skewed_dataset(self, skewed_dataset):
+        assert fpgrowth.mine_frequent_itemsets(
+            skewed_dataset, min_support=6, max_size=3
+        ) == apriori.mine_frequent_itemsets(skewed_dataset, min_support=6, max_size=3)
+
+    def test_matches_apriori_with_max_size(self, paper_dataset):
+        assert fpgrowth.mine_frequent_itemsets(
+            paper_dataset, min_support=2, max_size=2
+        ) == apriori.mine_frequent_itemsets(paper_dataset, min_support=2, max_size=2)
+
+    def test_singleton_supports_are_exact(self, tiny_dataset):
+        frequent = fpgrowth.mine_frequent_itemsets(tiny_dataset, min_support=1)
+        supports = tiny_dataset.term_supports()
+        for term, support in supports.items():
+            assert frequent[(term,)] == support
+
+    def test_pair_supports_are_exact(self, tiny_dataset):
+        frequent = fpgrowth.mine_frequent_itemsets(tiny_dataset, min_support=1, max_size=2)
+        assert frequent[("a", "b")] == tiny_dataset.support({"a", "b"})
+
+    def test_empty_dataset(self):
+        assert fpgrowth.mine_frequent_itemsets(TransactionDataset([]), min_support=1) == {}
+
+    def test_high_threshold_returns_nothing(self, tiny_dataset):
+        assert fpgrowth.mine_frequent_itemsets(tiny_dataset, min_support=100) == {}
+
+    def test_invalid_parameters_rejected(self, tiny_dataset):
+        with pytest.raises(MiningError):
+            fpgrowth.mine_frequent_itemsets(tiny_dataset, min_support=0)
+        with pytest.raises(MiningError):
+            fpgrowth.mine_frequent_itemsets(tiny_dataset, min_support=1, max_size=0)
+
+
+class TestFPGrowthTopK:
+    def test_matches_apriori_top_k(self, paper_dataset):
+        assert fpgrowth.mine_top_k(paper_dataset, top_k=12, max_size=2) == apriori.mine_top_k(
+            paper_dataset, top_k=12, max_size=2
+        )
+
+    def test_empty_dataset_returns_empty(self):
+        assert fpgrowth.mine_top_k(TransactionDataset([]), top_k=3) == []
+
+    def test_invalid_top_k_rejected(self, tiny_dataset):
+        with pytest.raises(MiningError):
+            fpgrowth.mine_top_k(tiny_dataset, top_k=0)

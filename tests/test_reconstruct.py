@@ -1,0 +1,132 @@
+"""Unit tests for reconstruction (repro.core.reconstruct)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clusters import (
+    DisassociatedDataset,
+    JointCluster,
+    RecordChunk,
+    SharedChunk,
+    SimpleCluster,
+    TermChunk,
+)
+from repro.core.reconstruct import Reconstructor, reconstruct
+from repro.exceptions import ReconstructionError
+
+
+class TestReconstructSimpleClusters:
+    @pytest.fixture
+    def published(self) -> DisassociatedDataset:
+        chunk1 = RecordChunk({"a", "b"}, [{"a", "b"}, {"a"}, {"a", "b"}])
+        chunk2 = RecordChunk({"c"}, [{"c"}, {"c"}])
+        cluster = SimpleCluster(4, [chunk1, chunk2], TermChunk({"z"}), label="P0")
+        return DisassociatedDataset([cluster], k=2, m=2)
+
+    def test_record_count_matches_cluster_size(self, published):
+        world = reconstruct(published, seed=0)
+        assert len(world) == 4
+
+    def test_no_empty_records(self, published):
+        world = reconstruct(published, seed=0)
+        assert all(len(record) > 0 for record in world)
+
+    def test_all_subrecords_are_placed(self, published):
+        world = reconstruct(published, seed=1)
+        # supports of record-chunk terms are preserved exactly
+        supports = world.term_supports()
+        assert supports["a"] == 3
+        assert supports["b"] == 2
+        assert supports["c"] == 2
+
+    def test_term_chunk_terms_appear_at_least_once(self, published):
+        world = reconstruct(published, seed=2)
+        assert world.support({"z"}) >= 1
+
+    def test_reconstruction_is_deterministic_given_seed(self, published):
+        assert reconstruct(published, seed=7) == reconstruct(published, seed=7)
+
+    def test_different_seeds_can_differ(self, published):
+        worlds = {tuple(sorted(map(tuple, map(sorted, reconstruct(published, seed=s)))))
+                  for s in range(10)}
+        assert len(worlds) > 1
+
+    def test_reconstruct_many_returns_independent_worlds(self, published):
+        worlds = Reconstructor(published, seed=0).reconstruct_many(3)
+        assert len(worlds) == 3
+        assert all(len(world) == 4 for world in worlds)
+
+    def test_oversized_chunk_raises(self):
+        chunk = RecordChunk({"a"}, [{"a"}, {"a"}, {"a"}])
+        cluster = SimpleCluster(2, [chunk], TermChunk(), label="broken")
+        published = DisassociatedDataset([cluster], k=2, m=2)
+        with pytest.raises(ReconstructionError):
+            reconstruct(published, seed=0)
+
+
+class TestReconstructJointClusters:
+    @pytest.fixture
+    def published(self) -> DisassociatedDataset:
+        left_chunk = RecordChunk({"a"}, [{"a"}, {"a"}, {"a"}])
+        left = SimpleCluster(3, [left_chunk], TermChunk({"v"}), label="L")
+        right_chunk = RecordChunk({"b"}, [{"b"}, {"b"}, {"b"}])
+        right = SimpleCluster(3, [right_chunk], TermChunk(), label="R")
+        shared = SharedChunk({"s"}, [{"s"}, {"s"}, {"s"}], contributions={"L": 2, "R": 1})
+        joint = JointCluster([left, right], [shared], label="J")
+        return DisassociatedDataset([joint], k=3, m=2)
+
+    def test_total_record_count(self, published):
+        world = reconstruct(published, seed=0)
+        assert len(world) == 6
+
+    def test_shared_terms_are_placed(self, published):
+        world = reconstruct(published, seed=0)
+        assert world.term_supports()["s"] == 3
+
+    def test_record_chunk_supports_preserved(self, published):
+        world = reconstruct(published, seed=3)
+        supports = world.term_supports()
+        assert supports["a"] == 3
+        assert supports["b"] == 3
+
+    def test_shared_subrecords_respect_contributions(self, published):
+        # term "s" was contributed twice by L (whose records all contain "a")
+        # and once by R (records contain "b"); with contributions honored,
+        # the reconstruction places at most 2 copies of "s" on "a"-records.
+        for seed in range(5):
+            world = reconstruct(published, seed=seed)
+            with_a = sum(1 for record in world if "s" in record and "a" in record)
+            with_b = sum(1 for record in world if "s" in record and "b" in record)
+            assert with_a <= 2
+            assert with_b <= 1 + 0  # R contributed exactly one sub-record
+
+    def test_averaged_supports(self, published):
+        averaged = Reconstructor(published, seed=0).averaged_supports([{"a"}, {"s"}], count=4)
+        assert averaged[frozenset({"a"})] == pytest.approx(3.0)
+        assert averaged[frozenset({"s"})] == pytest.approx(3.0)
+
+
+class TestPipelineReconstruction:
+    def test_paper_pipeline_record_count(self, paper_dataset, paper_published):
+        world = reconstruct(paper_published, seed=0)
+        assert len(world) == len(paper_dataset)
+
+    def test_paper_pipeline_no_new_terms(self, paper_dataset, paper_published):
+        world = reconstruct(paper_published, seed=0)
+        assert world.domain <= paper_dataset.domain
+
+    def test_record_chunk_term_supports_are_preserved(self, skewed_dataset, skewed_published):
+        world = reconstruct(skewed_published, seed=5)
+        world_supports = world.term_supports()
+        original_supports = skewed_dataset.term_supports()
+        for term in skewed_published.record_chunk_terms():
+            # every sub-record containing the term is placed exactly once, so
+            # the reconstructed support can never exceed the original
+            assert world_supports[term] <= original_supports[term]
+            assert world_supports[term] >= 1
+
+    def test_reconstruction_of_deserialized_publication(self, paper_published):
+        rebuilt = DisassociatedDataset.from_dict(paper_published.to_dict())
+        world = reconstruct(rebuilt, seed=0)
+        assert len(world) == 10

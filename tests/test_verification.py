@@ -1,0 +1,146 @@
+"""Unit tests for the independent audit (repro.core.verification)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clusters import (
+    DisassociatedDataset,
+    JointCluster,
+    RecordChunk,
+    SharedChunk,
+    SimpleCluster,
+    TermChunk,
+)
+from repro.core.verification import audit, verify_km_anonymity
+from repro.exceptions import AnonymityViolationError, ParameterError
+
+
+def good_cluster(label="P") -> SimpleCluster:
+    chunk = RecordChunk({"a", "b"}, [{"a", "b"}, {"a", "b"}, {"a", "b"}])
+    return SimpleCluster(3, [chunk], TermChunk({"z"}), label=label)
+
+
+def violating_cluster(label="BAD") -> SimpleCluster:
+    chunk = RecordChunk({"a", "b"}, [{"a", "b"}, {"a"}, {"b"}])
+    return SimpleCluster(3, [chunk], TermChunk({"z"}), label=label)
+
+
+class TestAuditSimpleClusters:
+    def test_good_dataset_passes(self):
+        published = DisassociatedDataset([good_cluster()], k=3, m=2)
+        report = audit(published)
+        assert report.ok
+        assert "passed" in report.summary()
+
+    def test_chunk_violation_detected(self):
+        published = DisassociatedDataset([violating_cluster()], k=3, m=2)
+        report = audit(published)
+        assert not report.ok
+        assert report.chunk_violations
+        label, itemset, support = report.chunk_violations[0]
+        assert label == "BAD"
+        assert support < 3
+
+    def test_lemma2_violation_detected(self):
+        # two chunks, empty term chunk, only 6 sub-records < 5 + 3 (Example 1)
+        c1 = RecordChunk({"a"}, [{"a"}, {"a"}, {"a"}])
+        c2 = RecordChunk({"b", "c"}, [{"b", "c"}, {"b", "c"}, {"b", "c"}])
+        cluster = SimpleCluster(5, [c1, c2], TermChunk(), label="EX1")
+        published = DisassociatedDataset([cluster], k=3, m=2)
+        report = audit(published)
+        assert not report.ok
+        assert report.lemma2_violations == ["EX1"]
+
+    def test_non_empty_term_chunk_fixes_lemma2(self):
+        c1 = RecordChunk({"a"}, [{"a"}, {"a"}, {"a"}])
+        c2 = RecordChunk({"b", "c"}, [{"b", "c"}, {"b", "c"}, {"b", "c"}])
+        cluster = SimpleCluster(5, [c1, c2], TermChunk({"d"}), label="EX1")
+        published = DisassociatedDataset([cluster], k=3, m=2)
+        assert audit(published).ok
+
+    def test_audit_uses_dataset_parameters_by_default(self):
+        published = DisassociatedDataset([good_cluster()], k=3, m=2)
+        assert audit(published).ok
+        # stricter k makes the same data fail
+        assert not audit(published, k=4).ok
+
+    def test_audit_with_invalid_override_raises(self):
+        published = DisassociatedDataset([good_cluster()], k=3, m=2)
+        with pytest.raises(ParameterError):
+            audit(published, k=0)
+
+
+class TestAuditJointClusters:
+    def _leaf(self, label, term_chunk_terms):
+        chunk = RecordChunk({"a"}, [{"a"}, {"a"}, {"a"}])
+        return SimpleCluster(3, [chunk], TermChunk(term_chunk_terms), label=label)
+
+    def test_safe_shared_chunk_passes(self):
+        left = self._leaf("L", {"o"})
+        right = self._leaf("R", {"o"})
+        shared = SharedChunk({"o"}, [{"o"}, {"o"}, {"o"}], {"L": 2, "R": 1})
+        joint = JointCluster([left, right], [shared], label="J")
+        published = DisassociatedDataset([joint], k=3, m=2)
+        assert audit(published).ok
+
+    def test_property1_violation_detected(self):
+        # the shared chunk contains term "a", which also appears in the
+        # children's record chunks, so it must be k-anonymous; it is not
+        # (sub-records {a,o}, {a}, {o} are all distinct) -- Figure 5a.
+        left = self._leaf("L", {"o"})
+        right = self._leaf("R", {"o"})
+        shared = SharedChunk(
+            {"a", "o"}, [{"a", "o"}, {"a", "o"}, {"a", "o"}, {"a"}, {"o"}], {"L": 3, "R": 2}
+        )
+        joint = JointCluster([left, right], [shared], label="J")
+        published = DisassociatedDataset([joint], k=3, m=2)
+        report = audit(published)
+        assert not report.ok
+        assert "J" in report.property1_violations
+
+    def test_km_violation_in_shared_chunk_detected(self):
+        left = self._leaf("L", {"o"})
+        right = self._leaf("R", {"o"})
+        shared = SharedChunk({"o", "p"}, [{"o", "p"}, {"o"}, {"o"}], {"L": 2, "R": 1})
+        joint = JointCluster([left, right], [shared], label="J")
+        published = DisassociatedDataset([joint], k=3, m=2)
+        report = audit(published)
+        assert not report.ok
+        assert report.chunk_violations
+
+    def test_violation_in_leaf_of_joint_cluster_detected(self):
+        left = violating_cluster("L")
+        right = self._leaf("R", {"o"})
+        joint = JointCluster([left, right], [], label="J")
+        published = DisassociatedDataset([joint], k=3, m=2)
+        report = audit(published)
+        assert not report.ok
+        assert any(label == "L" for label, _i, _s in report.chunk_violations)
+
+
+class TestVerifyKmAnonymity:
+    def test_passes_silently_on_good_data(self):
+        published = DisassociatedDataset([good_cluster()], k=3, m=2)
+        verify_km_anonymity(published)
+
+    def test_raises_with_offending_itemset(self):
+        published = DisassociatedDataset([violating_cluster()], k=3, m=2)
+        with pytest.raises(AnonymityViolationError) as excinfo:
+            verify_km_anonymity(published)
+        assert excinfo.value.support is not None
+        assert excinfo.value.support < 3
+
+    def test_raises_on_lemma2_violation(self):
+        c1 = RecordChunk({"a"}, [{"a"}, {"a"}, {"a"}])
+        c2 = RecordChunk({"b", "c"}, [{"b", "c"}, {"b", "c"}, {"b", "c"}])
+        cluster = SimpleCluster(5, [c1, c2], TermChunk(), label="EX1")
+        published = DisassociatedDataset([cluster], k=3, m=2)
+        with pytest.raises(AnonymityViolationError):
+            verify_km_anonymity(published)
+
+    def test_pipeline_output_always_verifies(self, paper_published):
+        verify_km_anonymity(paper_published)
+
+    def test_skewed_pipeline_output_always_verifies(self, skewed_published):
+        verify_km_anonymity(skewed_published)
