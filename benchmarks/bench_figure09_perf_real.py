@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.experiments import figure09
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_once, write_bench_json
 
 
 def test_figure09a_time_per_dataset(benchmark, bench_config):
@@ -19,6 +19,7 @@ def test_figure09a_time_per_dataset(benchmark, bench_config):
         rows,
         "paper: POS (largest) takes the longest; WV1 and WV2 are much cheaper.",
     )
+    write_bench_json("figure09a", {"rows": rows})
     by_name = {row["dataset"]: row for row in rows}
     assert by_name["POS"]["seconds"] >= by_name["WV1"]["seconds"]
     assert by_name["POS"]["records"] > by_name["WV2"]["records"] > by_name["WV1"]["records"]
@@ -31,5 +32,6 @@ def test_figure09b_time_vs_k(benchmark, bench_config):
         rows,
         "paper: running time is not significantly affected by k.",
     )
+    write_bench_json("figure09b", {"rows": rows})
     times = [row["seconds"] for row in rows]
     assert max(times) <= 5.0 * max(min(times), 1e-9)

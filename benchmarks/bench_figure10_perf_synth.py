@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import figure10
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_once, write_bench_json
 
 
 def test_figure10a_time_vs_dataset_size(benchmark, bench_config):
@@ -14,6 +14,7 @@ def test_figure10a_time_vs_dataset_size(benchmark, bench_config):
         rows,
         "paper: time grows linearly with the number of records.",
     )
+    write_bench_json("figure10a", {"rows": rows})
     # cost grows with size...
     assert rows[-1]["seconds"] >= rows[0]["seconds"]
     # ...and stays near-linear: per-record cost at the largest size is within
@@ -29,6 +30,7 @@ def test_figure10b_time_vs_domain_size(benchmark, bench_config):
         rows,
         "paper: time scales gently (sub-linearly) with the domain size.",
     )
+    write_bench_json("figure10b", {"rows": rows})
     times = [row["seconds"] for row in rows]
     domains = [row["domain"] for row in rows]
     # going from the smallest to the largest domain must not blow up the cost

@@ -10,6 +10,7 @@ is the experiment output, not micro-timing stability.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -41,6 +42,19 @@ def emit(title: str, rows, paper_note: str) -> None:
     )
     print("\n" + text)
     _EMITTED.append(text)
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write machine-readable perf output next to the benchmarks.
+
+    ``BENCH_<name>.json`` files track the perf trajectory across PRs: each
+    perf benchmark dumps its phase timings (from
+    :class:`~repro.core.engine.AnonymizationReport`) so regressions are
+    visible as diffs instead of anecdotes.
+    """
+    path = Path(__file__).parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -35,13 +35,18 @@ from repro.core import (
     AuditReport,
     DisassociatedDataset,
     Disassociator,
+    EncodedCluster,
+    EncodedDataset,
     JointCluster,
+    Pipeline,
+    PipelineContext,
     RecordChunk,
     Reconstructor,
     SharedChunk,
     SimpleCluster,
     TermChunk,
     TransactionDataset,
+    Vocabulary,
     anonymize,
     audit,
     reconstruct,
@@ -70,10 +75,15 @@ __all__ = [
     "DatasetFormatError",
     "DisassociatedDataset",
     "Disassociator",
+    "EncodedCluster",
+    "EncodedDataset",
     "HierarchyError",
     "JointCluster",
     "MiningError",
     "ParameterError",
+    "Pipeline",
+    "PipelineContext",
+    "Vocabulary",
     "ReconstructionError",
     "RecordChunk",
     "Reconstructor",

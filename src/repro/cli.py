@@ -57,6 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
     anonymize.add_argument("--m", type=int, default=2)
     anonymize.add_argument("--max-cluster-size", type=int, default=30)
     anonymize.add_argument("--no-refine", action="store_true", help="skip the REFINE step")
+    anonymize.add_argument(
+        "--backend",
+        choices=["encoded", "string"],
+        default="encoded",
+        help="execution core: interned/bitset fast path (default) or the string reference",
+    )
+    anonymize.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the per-cluster VERPART fan-out (encoded backend)",
+    )
 
     reconstruct = subparsers.add_parser(
         "reconstruct", help="sample a reconstructed dataset from a published JSON"
@@ -99,6 +111,8 @@ def _cmd_anonymize(args) -> int:
         m=args.m,
         max_cluster_size=args.max_cluster_size,
         refine=not args.no_refine,
+        backend=args.backend,
+        jobs=args.jobs,
     )
     engine = Disassociator(params)
     published = engine.anonymize(dataset)

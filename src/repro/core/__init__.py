@@ -29,12 +29,24 @@ from repro.core.clusters import (
     TermChunk,
 )
 from repro.core.dataset import DatasetStats, TransactionDataset, jaccard_similarity
-from repro.core.engine import AnonymizationParams, AnonymizationReport, Disassociator, anonymize
-from repro.core.horizontal import horizontal_partition
+from repro.core.engine import (
+    AnonymizationParams,
+    AnonymizationReport,
+    Disassociator,
+    HorizontalPhase,
+    Pipeline,
+    PipelineContext,
+    RefinePhase,
+    VerifyPhase,
+    VerticalPhase,
+    anonymize,
+)
+from repro.core.horizontal import horizontal_partition, horizontal_partition_indices
 from repro.core.reconstruct import Reconstructor, reconstruct
 from repro.core.refine import refine
 from repro.core.verification import AuditReport, audit, verify_km_anonymity
-from repro.core.vertical import satisfies_lemma2, vertical_partition
+from repro.core.vertical import satisfies_lemma2, vertical_partition, vertical_partition_fast
+from repro.core.vocab import EncodedCluster, EncodedDataset, Vocabulary
 
 __all__ = [
     "AnonymizationParams",
@@ -50,12 +62,22 @@ __all__ = [
     "SimpleCluster",
     "TermChunk",
     "TransactionDataset",
+    "EncodedCluster",
+    "EncodedDataset",
+    "HorizontalPhase",
+    "Pipeline",
+    "PipelineContext",
+    "RefinePhase",
+    "VerifyPhase",
+    "VerticalPhase",
+    "Vocabulary",
     "anonymize",
     "audit",
     "combination_supports",
     "find_all_km_violations",
     "find_km_violation",
     "horizontal_partition",
+    "horizontal_partition_indices",
     "is_k_anonymous",
     "is_km_anonymous",
     "jaccard_similarity",
@@ -65,4 +87,5 @@ __all__ = [
     "satisfies_lemma2",
     "verify_km_anonymity",
     "vertical_partition",
+    "vertical_partition_fast",
 ]

@@ -96,6 +96,86 @@ def is_k_anonymous(records: Sequence[frozenset], k: int) -> bool:
     return all(count >= k for count in counts.values())
 
 
+class BitsetChunkChecker:
+    """Incrementally grow a chunk domain over term *bitmasks*.
+
+    The bitset counterpart of :class:`IncrementalChunkChecker`: each term is
+    represented by an int bitmask over the cluster's rows (bit ``i`` set when
+    row ``i`` contains the term), so the support of an m-term combination is
+    ``(mask_1 & ... & mask_m).bit_count()``.  Candidate evaluation only
+    enumerates combinations that involve the new term, walking the accepted
+    terms depth-first and pruning whole subtrees as soon as an AND becomes
+    empty -- the cost is bounded by the number of *occurring* combinations,
+    each checked with one AND and one popcount instead of a record scan.
+
+    Accepts any hashable term keys (string terms or int ids); decisions are
+    identical to the string checker because combination supports are.
+
+    Args:
+        masks: mapping from term to its row bitmask.
+        k, m: the anonymity parameters.
+    """
+
+    def __init__(self, masks, k: int, m: int):
+        validate_km_parameters(k, m)
+        self._masks = dict(masks)
+        self._k = k
+        self._m = m
+        self._accepted: list = []          # insertion order (for DFS)
+        self._accepted_set: set = set()
+
+    @property
+    def accepted_terms(self) -> frozenset:
+        """Terms accepted into the chunk domain so far."""
+        return frozenset(self._accepted_set)
+
+    def would_remain_anonymous(self, term) -> bool:
+        """Check whether adding ``term`` keeps the chunk k^m-anonymous."""
+        if term in self._accepted_set:
+            return True
+        mask = self._masks.get(term, 0)
+        if mask.bit_count() < self._k:
+            return False
+        if self._m == 1:
+            return True
+        return self._combinations_ok(mask, 0, self._m - 1)
+
+    def _combinations_ok(self, base_mask: int, start: int, depth: int) -> bool:
+        """DFS over accepted terms: every occurring combination that extends
+        ``base_mask`` must keep support >= k.  An empty AND prunes the whole
+        subtree (supersets of a non-occurring combination never occur)."""
+        masks = self._masks
+        accepted = self._accepted
+        k = self._k
+        for index in range(start, len(accepted)):
+            intersection = base_mask & masks[accepted[index]]
+            if not intersection:
+                continue
+            if intersection.bit_count() < k:
+                return False
+            if depth > 1 and not self._combinations_ok(intersection, index + 1, depth - 1):
+                return False
+        return True
+
+    def try_add(self, term) -> bool:
+        """Add ``term`` to the chunk domain if the chunk stays k^m-anonymous."""
+        if not self.would_remain_anonymous(term):
+            return False
+        self.add(term)
+        return True
+
+    def add(self, term) -> None:
+        """Add ``term`` unconditionally (caller already validated the candidate)."""
+        if term not in self._accepted_set:
+            self._accepted.append(term)
+            self._accepted_set.add(term)
+
+    def reset(self) -> None:
+        """Discard the accepted terms and start a fresh chunk domain."""
+        self._accepted.clear()
+        self._accepted_set.clear()
+
+
 class IncrementalChunkChecker:
     """Incrementally grow a chunk term-set while preserving k^m-anonymity.
 

@@ -1,32 +1,69 @@
 """End-to-end disassociation engine (the paper's anonymization algorithm).
 
-:class:`Disassociator` wires together the three phases of Section 4 —
-horizontal partitioning, vertical partitioning, refining — and returns a
-:class:`~repro.core.clusters.DisassociatedDataset`.  Parameters are grouped
-in :class:`AnonymizationParams`, validated once, and recorded on the output.
+The engine is a pluggable :class:`Pipeline` of phase objects, each
+implementing the small :class:`Phase` protocol (``name`` + ``run(ctx)``):
+
+* :class:`HorizontalPhase` -- HORPART.  With the default ``encoded``
+  backend the dataset is interned onto an
+  :class:`~repro.core.vocab.EncodedDataset` first and split via posting
+  lists; records are decoded back at the phase boundary.
+* :class:`VerticalPhase` -- VERPART per cluster, over int bitmasks on the
+  encoded backend.  ``jobs=N`` fans the independent per-cluster calls out
+  over ``concurrent.futures`` with a deterministic merge order (cluster
+  labels are assigned before submission, results are merged in label
+  order).
+* :class:`RefinePhase` -- REFINE with bitset shared-chunk construction on
+  the encoded backend.
+* :class:`VerifyPhase` -- publishes the dataset and re-audits it.
+
+Phases communicate through a :class:`PipelineContext`; the pipeline times
+every phase into the :class:`AnonymizationReport`.  :class:`Disassociator`
+builds the default pipeline; replace :meth:`Disassociator.build_pipeline`
+(or construct a :class:`Pipeline` directly) to insert, drop or reorder
+phases.  Parameters are grouped in :class:`AnonymizationParams`, validated
+once, and recorded on the output.
+
+The ``backend`` parameter selects the execution core: ``"encoded"``
+(default) runs the interned/bitset fast paths, ``"string"`` runs the
+original reference implementation.  Both produce identical published
+datasets (covered by the equivalence test suite).
 
 Typical usage::
 
     from repro import Disassociator, AnonymizationParams, TransactionDataset
 
     dataset = TransactionDataset([...])
-    params = AnonymizationParams(k=5, m=2)
+    params = AnonymizationParams(k=5, m=2, jobs=4)
     published = Disassociator(params).anonymize(dataset)
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Protocol, Sequence
 
-from repro.core.clusters import DisassociatedDataset, SimpleCluster
+from repro.core.clusters import Cluster, DisassociatedDataset, SimpleCluster
 from repro.core.dataset import TransactionDataset
-from repro.core.horizontal import DEFAULT_MAX_CLUSTER_SIZE, horizontal_partition
+from repro.core.horizontal import (
+    DEFAULT_MAX_CLUSTER_SIZE,
+    horizontal_partition,
+    horizontal_partition_indices,
+)
 from repro.core.refine import refine
 from repro.core.verification import verify_km_anonymity
-from repro.core.vertical import vertical_partition
+from repro.core.vertical import (
+    build_cluster_from_domains,
+    partition_domains_fast,
+    vertical_partition,
+    vertical_partition_fast,
+)
+from repro.core.vocab import EncodedDataset
 from repro.exceptions import ParameterError
+
+#: Execution backends: the interned/bitset core and the string reference.
+BACKENDS = ("encoded", "string")
 
 
 @dataclass(frozen=True)
@@ -46,6 +83,11 @@ class AnonymizationParams:
             into term chunks, which yields cluster-size l-diversity for them
             (paper, Section 5, "Diversity").
         verify: re-audit the published dataset before returning it.
+        backend: ``"encoded"`` (default) runs the interned-term/bitset
+            execution core; ``"string"`` runs the reference implementation.
+            Both produce identical published datasets.
+        jobs: number of worker processes for the per-cluster VERPART
+            fan-out (encoded backend only); ``1`` runs in-process.
     """
 
     k: int = 5
@@ -55,6 +97,8 @@ class AnonymizationParams:
     max_join_size: Optional[int] = None
     sensitive_terms: frozenset = field(default_factory=frozenset)
     verify: bool = True
+    backend: str = "encoded"
+    jobs: int = 1
 
     def __post_init__(self):
         if self.k < 1:
@@ -76,6 +120,12 @@ class AnonymizationParams:
                 f"(got max_join_size={self.max_join_size}, "
                 f"max_cluster_size={self.max_cluster_size})"
             )
+        if self.backend not in BACKENDS:
+            raise ParameterError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if not isinstance(self.jobs, int) or self.jobs < 1:
+            raise ParameterError(f"jobs must be a positive integer, got {self.jobs!r}")
         object.__setattr__(
             self, "sensitive_terms", frozenset(str(t) for t in self.sensitive_terms)
         )
@@ -83,7 +133,13 @@ class AnonymizationParams:
 
 @dataclass
 class AnonymizationReport:
-    """Timings and structural statistics of one anonymization run."""
+    """Timings and structural statistics of one anonymization run.
+
+    Phase timings are wall-clock seconds per pipeline phase.
+    ``encode_seconds`` / ``decode_seconds`` break out the time spent moving
+    between the string and interned representations; both are sub-intervals
+    of ``horizontal_seconds`` (the phase that owns the boundary).
+    """
 
     num_records: int = 0
     num_clusters: int = 0
@@ -94,11 +150,203 @@ class AnonymizationReport:
     horizontal_seconds: float = 0.0
     vertical_seconds: float = 0.0
     refine_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    decode_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
-        """Total anonymization time across the three phases."""
-        return self.horizontal_seconds + self.vertical_seconds + self.refine_seconds
+        """Total anonymization time across the pipeline phases."""
+        return (
+            self.horizontal_seconds
+            + self.vertical_seconds
+            + self.refine_seconds
+            + self.verify_seconds
+        )
+
+    def phase_timings(self) -> dict:
+        """Phase timings as a plain dict (machine-readable perf output)."""
+        return {
+            "horizontal_seconds": self.horizontal_seconds,
+            "vertical_seconds": self.vertical_seconds,
+            "refine_seconds": self.refine_seconds,
+            "verify_seconds": self.verify_seconds,
+            "encode_seconds": self.encode_seconds,
+            "decode_seconds": self.decode_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through the pipeline phases.
+
+    Attributes:
+        params, report: the run's configuration and its timing/stat sink.
+        dataset: the original input dataset (with sensitive terms).
+        working: the dataset the clustering phases operate on (sensitive
+            terms stripped; identical to ``dataset`` otherwise).
+        partitions: HORPART output -- one record sequence per cluster.
+        clusters: VERPART output -- one :class:`SimpleCluster` per partition.
+        refined: REFINE output -- simple and/or joint clusters.
+        published: the final :class:`DisassociatedDataset`.
+    """
+
+    params: AnonymizationParams
+    report: AnonymizationReport
+    dataset: TransactionDataset
+    working: TransactionDataset
+    partitions: Optional[list] = None
+    clusters: list[SimpleCluster] = field(default_factory=list)
+    refined: Optional[list[Cluster]] = None
+    published: Optional[DisassociatedDataset] = None
+
+    def publish(self) -> DisassociatedDataset:
+        """Build (once) and return the published dataset."""
+        if self.published is None:
+            clusters = self.refined if self.refined is not None else list(self.clusters)
+            self.published = DisassociatedDataset(
+                clusters, k=self.params.k, m=self.params.m
+            )
+        return self.published
+
+
+class Phase(Protocol):
+    """One pipeline stage: a named object transforming the shared context."""
+
+    name: str
+
+    def run(self, ctx: PipelineContext) -> None:
+        """Advance ``ctx``; phase wall time lands in ``report.<name>_seconds``."""
+        ...
+
+
+class Pipeline:
+    """An ordered list of phases run against one :class:`PipelineContext`.
+
+    The pipeline times every phase into ``ctx.report.<name>_seconds`` (when
+    the report has such a field), so custom phases named e.g. ``"refine"``
+    transparently account into the standard report.
+    """
+
+    def __init__(self, phases: Sequence[Phase]):
+        self.phases: list[Phase] = list(phases)
+
+    def __repr__(self) -> str:
+        return f"Pipeline({[phase.name for phase in self.phases]})"
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        for phase in self.phases:
+            start = time.perf_counter()
+            phase.run(ctx)
+            elapsed = time.perf_counter() - start
+            attr = f"{phase.name}_seconds"
+            if hasattr(ctx.report, attr):
+                setattr(ctx.report, attr, getattr(ctx.report, attr) + elapsed)
+        return ctx
+
+
+class HorizontalPhase:
+    """HORPART: cluster the working records into bounded-size partitions."""
+
+    name = "horizontal"
+
+    def run(self, ctx: PipelineContext) -> None:
+        params, report = ctx.params, ctx.report
+        if params.backend == "encoded":
+            start = time.perf_counter()
+            encoded = EncodedDataset.from_dataset(ctx.working)
+            report.encode_seconds += time.perf_counter() - start
+            index_parts = horizontal_partition_indices(encoded, params.max_cluster_size)
+            start = time.perf_counter()
+            records = list(ctx.working)
+            ctx.partitions = [[records[i] for i in part] for part in index_parts]
+            report.decode_seconds += time.perf_counter() - start
+        else:
+            ctx.partitions = horizontal_partition(ctx.working, params.max_cluster_size)
+        if params.sensitive_terms:
+            # Re-attach sensitive terms to the records of each partition so
+            # the vertical step can place them in term chunks.
+            ctx.partitions = _reattach_sensitive(
+                ctx.dataset, ctx.partitions, params.sensitive_terms
+            )
+
+
+class VerticalPhase:
+    """VERPART: split every partition into record chunks and a term chunk.
+
+    Per-cluster calls are independent; with ``params.jobs > 1`` (encoded
+    backend) they are fanned out over a process pool.  Cluster labels
+    (``P0..Pn``) are assigned before submission and results are merged in
+    that order, so the output is identical for every ``jobs`` value.
+    """
+
+    name = "vertical"
+
+    def run(self, ctx: PipelineContext) -> None:
+        params = ctx.params
+        partitions = ctx.partitions or []
+        if params.backend == "encoded":
+            if params.jobs > 1 and len(partitions) > 1:
+                results = _parallel_vertical(partitions, params.k, params.m, params.jobs)
+            else:
+                results = [
+                    vertical_partition_fast(part, params.k, params.m, label=f"P{index}")
+                    for index, part in enumerate(partitions)
+                ]
+        else:
+            results = [
+                vertical_partition(
+                    _as_dataset(part), params.k, params.m, label=f"P{index}"
+                )
+                for index, part in enumerate(partitions)
+            ]
+        clusters: list[SimpleCluster] = []
+        for result in results:
+            cluster = result.cluster
+            if params.sensitive_terms:
+                cluster = _force_sensitive_to_term_chunk(cluster, params.sensitive_terms)
+            clusters.append(cluster)
+        ctx.clusters = clusters
+
+
+class RefinePhase:
+    """REFINE: merge clusters into joint clusters with shared chunks."""
+
+    name = "refine"
+
+    def run(self, ctx: PipelineContext) -> None:
+        params = ctx.params
+        clusters = ctx.clusters
+        if params.refine and len(clusters) > 1:
+            join_cap = params.max_join_size
+            if join_cap is None:
+                join_cap = 8 * params.max_cluster_size
+            ctx.refined = refine(
+                clusters,
+                params.k,
+                params.m,
+                max_join_size=join_cap,
+                excluded_terms=params.sensitive_terms,
+                use_bitsets=params.backend == "encoded",
+            )
+        else:
+            ctx.refined = list(clusters)
+
+
+class VerifyPhase:
+    """Publish the dataset and independently re-audit it (when enabled)."""
+
+    name = "verify"
+
+    def run(self, ctx: PipelineContext) -> None:
+        published = ctx.publish()
+        if ctx.params.verify:
+            verify_km_anonymity(published)
+
+
+#: The phases of the standard disassociation pipeline, in order.
+DEFAULT_PHASES = (HorizontalPhase, VerticalPhase, RefinePhase, VerifyPhase)
 
 
 class Disassociator:
@@ -113,6 +361,10 @@ class Disassociator:
         self.params = params if params is not None else AnonymizationParams()
         self.last_report: Optional[AnonymizationReport] = None
 
+    def build_pipeline(self) -> Pipeline:
+        """The default pipeline; override to add, drop or reorder phases."""
+        return Pipeline([phase() for phase in DEFAULT_PHASES])
+
     def anonymize(self, dataset: TransactionDataset) -> DisassociatedDataset:
         """Run the full pipeline and return the published dataset.
 
@@ -123,6 +375,7 @@ class Disassociator:
         """
         params = self.params
         report = AnonymizationReport(num_records=len(dataset))
+        self.last_report = report
         sensitive = params.sensitive_terms
 
         working = dataset
@@ -133,120 +386,140 @@ class Disassociator:
                 (record - sensitive or record for record in dataset), allow_empty=False
             )
 
-        start = time.perf_counter()
-        partitions = horizontal_partition(working, params.max_cluster_size)
-        report.horizontal_seconds = time.perf_counter() - start
-
-        # Re-attach sensitive terms to the records of each partition so the
-        # vertical step can place them in term chunks.
-        if sensitive:
-            partitions = self._reattach_sensitive(dataset, partitions, sensitive)
-
-        start = time.perf_counter()
-        clusters: list[SimpleCluster] = []
-        for index, partition in enumerate(partitions):
-            result = vertical_partition(
-                partition, params.k, params.m, label=f"P{index}"
-            )
-            cluster = result.cluster
-            if sensitive:
-                cluster = self._force_sensitive_to_term_chunk(cluster, sensitive)
-            clusters.append(cluster)
-        report.vertical_seconds = time.perf_counter() - start
-
-        start = time.perf_counter()
-        if params.refine and len(clusters) > 1:
-            join_cap = params.max_join_size
-            if join_cap is None:
-                join_cap = 8 * params.max_cluster_size
-            refined = refine(
-                clusters,
-                params.k,
-                params.m,
-                max_join_size=join_cap,
-                excluded_terms=sensitive,
-            )
-        else:
-            refined = list(clusters)
-        report.refine_seconds = time.perf_counter() - start
-
-        published = DisassociatedDataset(refined, k=params.k, m=params.m)
-        self._fill_report(report, published)
-        self.last_report = report
-
-        if params.verify:
-            verify_km_anonymity(published)
+        ctx = PipelineContext(
+            params=params, report=report, dataset=dataset, working=working
+        )
+        self.build_pipeline().run(ctx)
+        published = ctx.publish()
+        _fill_report(report, published)
         return published
 
-    # ------------------------------------------------------------------ #
-    # sensitive-term (l-diversity) support
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _reattach_sensitive(dataset, partitions, sensitive):
-        """Map partitioned records back to their original (sensitive-bearing) form.
+# ------------------------------------------------------------------ #
+# sensitive-term (l-diversity) support
+# ------------------------------------------------------------------ #
+def _reattach_sensitive(dataset, partitions, sensitive) -> list[TransactionDataset]:
+    """Map partitioned records back to their original (sensitive-bearing) form.
 
-        Records are matched on their non-sensitive projection; duplicates are
-        consumed in order so multiplicities are preserved.
-        """
-        pool: dict[frozenset, list[frozenset]] = {}
-        for record in dataset:
-            key = frozenset(record - sensitive) or frozenset(record)
-            pool.setdefault(key, []).append(frozenset(record))
-        restored = []
-        for partition in partitions:
-            records = []
-            for record in partition:
-                candidates = pool.get(frozenset(record), [])
-                records.append(candidates.pop() if candidates else frozenset(record))
-            restored.append(TransactionDataset(records, allow_empty=False))
-        return restored
+    Records are matched on their non-sensitive projection; duplicates are
+    consumed in (dataset) order so multiplicities are preserved.
+    """
+    pool: dict[frozenset, list[frozenset]] = {}
+    for record in dataset:
+        key = frozenset(record - sensitive) or frozenset(record)
+        pool.setdefault(key, []).append(frozenset(record))
+    # Consume each key's duplicates front-to-back (FIFO): reversing once
+    # here lets the loop below pop from the end in original order.
+    for candidates in pool.values():
+        candidates.reverse()
+    restored = []
+    for partition in partitions:
+        records = []
+        for record in partition:
+            candidates = pool.get(frozenset(record), [])
+            records.append(candidates.pop() if candidates else frozenset(record))
+        restored.append(TransactionDataset(records, allow_empty=False))
+    return restored
 
-    @staticmethod
-    def _force_sensitive_to_term_chunk(cluster: SimpleCluster, sensitive: frozenset) -> SimpleCluster:
-        """Move any sensitive term that slipped into a record chunk to the term chunk."""
-        from repro.core.clusters import RecordChunk, TermChunk
 
-        moved: set = set()
-        new_chunks = []
-        for chunk in cluster.record_chunks:
-            overlap = chunk.domain & sensitive
-            if not overlap:
-                new_chunks.append(chunk)
-                continue
-            moved.update(overlap)
-            reduced_domain = chunk.domain - overlap
-            if reduced_domain:
-                new_chunks.append(
-                    RecordChunk(reduced_domain, (sr - overlap for sr in chunk.subrecords))
-                )
-        present_sensitive = set()
-        if cluster.original_records is not None:
-            for record in cluster.original_records:
-                present_sensitive.update(record & sensitive)
-        new_term_chunk = TermChunk(cluster.term_chunk.terms | moved | present_sensitive)
-        return SimpleCluster(
-            size=cluster.size,
-            record_chunks=new_chunks,
-            term_chunk=new_term_chunk,
-            label=cluster.label,
-            original_records=cluster.original_records,
+def _force_sensitive_to_term_chunk(
+    cluster: SimpleCluster, sensitive: frozenset
+) -> SimpleCluster:
+    """Move any sensitive term that slipped into a record chunk to the term chunk."""
+    from repro.core.clusters import RecordChunk, TermChunk
+
+    moved: set = set()
+    new_chunks = []
+    for chunk in cluster.record_chunks:
+        overlap = chunk.domain & sensitive
+        if not overlap:
+            new_chunks.append(chunk)
+            continue
+        moved.update(overlap)
+        reduced_domain = chunk.domain - overlap
+        if reduced_domain:
+            new_chunks.append(
+                RecordChunk(reduced_domain, (sr - overlap for sr in chunk.subrecords))
+            )
+    present_sensitive = set()
+    if cluster.original_records is not None:
+        for record in cluster.original_records:
+            present_sensitive.update(record & sensitive)
+    new_term_chunk = TermChunk(cluster.term_chunk.terms | moved | present_sensitive)
+    return SimpleCluster(
+        size=cluster.size,
+        record_chunks=new_chunks,
+        term_chunk=new_term_chunk,
+        label=cluster.label,
+        original_records=cluster.original_records,
+    )
+
+
+# ------------------------------------------------------------------ #
+# parallel VERPART fan-out
+# ------------------------------------------------------------------ #
+def _vertical_worker(payload):
+    """Process-pool task: VERPART domain selection for one cluster.
+
+    Module-level for pickling.  Only the selected domains travel back to
+    the parent (a few small term sets); the parent materializes the cluster
+    from its own copy of the records, keeping IPC volume minimal.
+    """
+    records, k, m = payload
+    record_list = [frozenset(r) for r in records]
+    return partition_domains_fast(record_list, k, m)
+
+
+def _parallel_vertical(partitions, k: int, m: int, jobs: int):
+    """Fan independent per-cluster VERPART calls out over a process pool.
+
+    Labels are assigned by partition index and ``Executor.map`` preserves
+    submission order, so the merge is deterministic.  Falls back to the
+    serial path when no pool can be spawned (restricted environments).
+    """
+    payloads = [(tuple(part), k, m) for part in partitions]
+    workers = min(jobs, len(payloads))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunksize = max(1, len(payloads) // (jobs * 4))
+            domain_sets = list(pool.map(_vertical_worker, payloads, chunksize=chunksize))
+    except (OSError, RuntimeError):  # pragma: no cover - no subprocess support
+        return [
+            vertical_partition_fast(part, k, m, label=f"P{index}")
+            for index, part in enumerate(partitions)
+        ]
+    results = []
+    for index, (payload, domains) in enumerate(zip(payloads, domain_sets)):
+        record_list = [frozenset(r) for r in payload[0]]
+        chunk_domains, term_chunk_terms, demoted = domains
+        results.append(
+            build_cluster_from_domains(
+                record_list, chunk_domains, term_chunk_terms, demoted, f"P{index}"
+            )
         )
+    return results
 
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _fill_report(report: AnonymizationReport, published: DisassociatedDataset) -> None:
-        from repro.core.clusters import JointCluster
 
-        leaves = published.simple_clusters()
-        report.num_clusters = len(leaves)
-        report.num_joint_clusters = sum(
-            1 for cluster in published.clusters if isinstance(cluster, JointCluster)
-        )
-        report.num_record_chunks = sum(len(leaf.record_chunks) for leaf in leaves)
-        report.num_shared_chunks = sum(
-            1 for cluster in published.clusters for _ in cluster.iter_shared_chunks()
-        )
-        report.term_chunk_terms = sum(len(leaf.term_chunk) for leaf in leaves)
+# ------------------------------------------------------------------ #
+def _as_dataset(partition) -> TransactionDataset:
+    """Coerce a partition (record sequence) into a :class:`TransactionDataset`."""
+    if isinstance(partition, TransactionDataset):
+        return partition
+    return TransactionDataset(partition, allow_empty=False)
+
+
+def _fill_report(report: AnonymizationReport, published: DisassociatedDataset) -> None:
+    from repro.core.clusters import JointCluster
+
+    leaves = published.simple_clusters()
+    report.num_clusters = len(leaves)
+    report.num_joint_clusters = sum(
+        1 for cluster in published.clusters if isinstance(cluster, JointCluster)
+    )
+    report.num_record_chunks = sum(len(leaf.record_chunks) for leaf in leaves)
+    report.num_shared_chunks = sum(
+        1 for cluster in published.clusters for _ in cluster.iter_shared_chunks()
+    )
+    report.term_chunk_terms = sum(len(leaf.term_chunk) for leaf in leaves)
 
 
 def anonymize(
@@ -258,6 +531,8 @@ def anonymize(
     max_join_size: Optional[int] = None,
     sensitive_terms=(),
     verify: bool = True,
+    backend: str = "encoded",
+    jobs: int = 1,
 ) -> DisassociatedDataset:
     """Functional one-call interface to the disassociation pipeline."""
     params = AnonymizationParams(
@@ -268,5 +543,7 @@ def anonymize(
         max_join_size=max_join_size,
         sensitive_terms=frozenset(sensitive_terms),
         verify=verify,
+        backend=backend,
+        jobs=jobs,
     )
     return Disassociator(params).anonymize(dataset)

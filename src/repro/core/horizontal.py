@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.core.dataset import TransactionDataset
+from repro.core.vocab import EncodedDataset
 from repro.exceptions import ParameterError
 
 #: Default maximum number of records per cluster.  Small clusters keep the
@@ -77,6 +78,56 @@ def horizontal_partition(
         if len(with_term) == 0 or len(without_term) == 0:
             # The split term appears in all (or none) of the records; using
             # it again would loop forever, so just mark it ignored and retry.
+            stack.append((part, ignore | {split_term}))
+            continue
+        stack.append((without_term, ignore))
+        stack.append((with_term, ignore | {split_term}))
+    return clusters
+
+
+def horizontal_partition_indices(
+    encoded: EncodedDataset,
+    max_cluster_size: int = DEFAULT_MAX_CLUSTER_SIZE,
+) -> list[list[int]]:
+    """HORPART over an :class:`~repro.core.vocab.EncodedDataset`.
+
+    Identical split decisions and output ordering as
+    :func:`horizontal_partition`, but each part is a list of *record
+    indices* into the encoded dataset: splitting is a posting-set
+    membership test per record instead of re-materializing
+    ``TransactionDataset`` copies, and supports are counted over small ints.
+
+    Returns:
+        List of clusters as index lists; their concatenation is a
+        permutation of ``range(len(encoded))``.
+    """
+    if max_cluster_size < 2:
+        raise ParameterError(
+            f"max_cluster_size must be at least 2, got {max_cluster_size}"
+        )
+    if len(encoded) == 0:
+        return []
+
+    clusters: list[list[int]] = []
+    stack: list[tuple[list[int], frozenset]] = [
+        (list(range(len(encoded))), frozenset())
+    ]
+    while stack:
+        part, ignore = stack.pop()
+        if not part:
+            continue
+        if len(part) < max_cluster_size:
+            clusters.append(part)
+            continue
+        split_term = encoded.most_frequent_in(part, exclude=ignore)
+        if split_term is None:
+            clusters.extend(
+                part[start : start + max_cluster_size]
+                for start in range(0, len(part), max_cluster_size)
+            )
+            continue
+        with_term, without_term = encoded.split_indices(part, split_term)
+        if not with_term or not without_term:
             stack.append((part, ignore | {split_term}))
             continue
         stack.append((without_term, ignore))

@@ -23,8 +23,14 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.core.anonymity import is_k_anonymous, is_km_anonymous, validate_km_parameters
+from repro.core.anonymity import (
+    BitsetChunkChecker,
+    is_k_anonymous,
+    is_km_anonymous,
+    validate_km_parameters,
+)
 from repro.core.clusters import Cluster, JointCluster, SharedChunk, SimpleCluster, TermChunk
+from repro.core.vocab import EncodedCluster, iter_mask_bits
 from repro.exceptions import RefinementError
 
 
@@ -82,6 +88,7 @@ def build_shared_chunks(
     restricted_terms: frozenset,
     k: int,
     m: int,
+    use_bitsets: bool = True,
 ) -> tuple[list[SharedChunk], frozenset]:
     """Greedily build shared chunks over ``refining_terms``.
 
@@ -97,6 +104,10 @@ def build_shared_chunks(
             record or shared chunks of the descendant clusters); a shared
             chunk touching any of them must be k-anonymous.
         k, m: anonymity parameters.
+        use_bitsets: select chunk domains over term bitmasks (AND + popcount
+            per combination) instead of re-projecting every record per
+            candidate.  Both selectors make identical greedy decisions; the
+            reference selector is kept as the verification baseline.
 
     Returns:
         ``(shared_chunks, placed_terms)`` where ``placed_terms`` are the
@@ -114,28 +125,51 @@ def build_shared_chunks(
             (leaf, [record & liftable for record in originals])
         )
 
+    rows = [record for _leaf, records in per_leaf_sources for record in records]
+    if use_bitsets:
+        domains = _select_domains_bitset(rows, restricted_terms, k, m)
+    else:
+        domains = _select_domains_reference(rows, refining_terms, restricted_terms, k, m)
+
+    shared_chunks: list[SharedChunk] = []
+    placed: set = set()
+    for domain in domains:
+        subrecords: list[frozenset] = []
+        contributions: dict = {}
+        for leaf, records in per_leaf_sources:
+            leaf_subrecords = [record & domain for record in records]
+            non_empty = [p for p in leaf_subrecords if p]
+            contributions[leaf.label] = len(non_empty)
+            subrecords.extend(non_empty)
+        shared_chunks.append(SharedChunk(domain, subrecords, contributions))
+        placed.update(domain)
+    return shared_chunks, frozenset(placed)
+
+
+def _select_domains_reference(
+    rows: Sequence[frozenset],
+    refining_terms: frozenset,
+    restricted_terms: frozenset,
+    k: int,
+    m: int,
+) -> list[frozenset]:
+    """Reference greedy domain selection: full re-projection per candidate."""
     supports: Counter = Counter()
-    for _leaf, projections in per_leaf_sources:
-        for projection in projections:
-            supports.update(projection)
+    for projection in rows:
+        supports.update(projection)
 
     remaining = sorted(
         (t for t in refining_terms if supports[t] > 0),
         key=lambda t: (-supports[t], t),
     )
 
-    shared_chunks: list[SharedChunk] = []
-    placed: set = set()
+    domains: list[frozenset] = []
     while remaining:
         accepted: list[str] = []
         skipped: list[str] = []
         for term in remaining:
             candidate = frozenset(accepted) | {term}
-            projections = [
-                record & candidate
-                for _leaf, records in per_leaf_sources
-                for record in records
-            ]
+            projections = [record & candidate for record in rows]
             non_empty = [p for p in projections if p]
             anonymous = is_km_anonymous(non_empty, k, m)
             if anonymous and candidate & restricted_terms:
@@ -146,18 +180,74 @@ def build_shared_chunks(
                 skipped.append(term)
         if not accepted:
             break
-        domain = frozenset(accepted)
-        subrecords: list[frozenset] = []
-        contributions: dict = {}
-        for leaf, records in per_leaf_sources:
-            leaf_subrecords = [record & domain for record in records]
-            non_empty = [p for p in leaf_subrecords if p]
-            contributions[leaf.label] = len(non_empty)
-            subrecords.extend(non_empty)
-        shared_chunks.append(SharedChunk(domain, subrecords, contributions))
-        placed.update(accepted)
+        domains.append(frozenset(accepted))
         remaining = skipped
-    return shared_chunks, frozenset(placed)
+    return domains
+
+
+def _select_domains_bitset(
+    rows: Sequence[frozenset],
+    restricted_terms: frozenset,
+    k: int,
+    m: int,
+) -> list[frozenset]:
+    """Bitset greedy domain selection (same decisions as the reference).
+
+    Terms are represented as bitmasks over the joint rows, so a candidate's
+    k^m check enumerates only the occurring combinations that involve it
+    (AND + popcount each).  The Property-1 k-anonymity check, needed only
+    when the candidate domain touches ``restricted_terms``, recounts the
+    multiset of row projections maintained incrementally on acceptance.
+    """
+    masks = EncodedCluster(rows).masks
+    supports = {term: mask.bit_count() for term, mask in masks.items()}
+
+    remaining = sorted(supports, key=lambda t: (-supports[t], t))
+
+    domains: list[frozenset] = []
+    while remaining:
+        checker = BitsetChunkChecker(masks, k, m)
+        # per-row projection onto the accepted terms (for the k-anonymity check)
+        row_projections: list[set] = [set() for _ in rows]
+        accepted: list[str] = []
+        skipped: list[str] = []
+        touches_restricted = False
+        for term in remaining:
+            ok = checker.would_remain_anonymous(term)
+            if ok and (touches_restricted or term in restricted_terms):
+                ok = _candidate_is_k_anonymous(row_projections, masks[term], term, k)
+            if not ok:
+                skipped.append(term)
+                continue
+            accepted.append(term)
+            checker.add(term)
+            if term in restricted_terms:
+                touches_restricted = True
+            for row_index in iter_mask_bits(masks[term]):
+                row_projections[row_index].add(term)
+        if not accepted:
+            break
+        domains.append(frozenset(accepted))
+        remaining = skipped
+    return domains
+
+
+def _candidate_is_k_anonymous(
+    row_projections: Sequence[set], term_mask: int, term: str, k: int
+) -> bool:
+    """k-anonymity of the row projections if ``term`` were accepted.
+
+    Every distinct non-empty projection (current accepted terms, plus
+    ``term`` for the rows whose bit is set in ``term_mask``) must occur at
+    least ``k`` times.
+    """
+    counts: Counter = Counter()
+    for row_index, projection in enumerate(row_projections):
+        if (term_mask >> row_index) & 1:
+            counts[frozenset(projection) | {term}] += 1
+        elif projection:
+            counts[frozenset(projection)] += 1
+    return all(count >= k for count in counts.values())
 
 
 # --------------------------------------------------------------------------- #
@@ -209,6 +299,7 @@ def try_merge(
     m: int,
     max_join_size: Optional[int] = None,
     excluded_terms: frozenset = frozenset(),
+    use_bitsets: bool = True,
 ) -> MergeOutcome:
     """Attempt to merge two clusters into a joint cluster.
 
@@ -242,7 +333,7 @@ def try_merge(
     placed: frozenset = frozenset()
     while refining_candidates:
         shared_chunks, placed = build_shared_chunks(
-            leaves, refining_candidates, restricted, k, m
+            leaves, refining_candidates, restricted, k, m, use_bitsets=use_bitsets
         )
         if not shared_chunks or not placed:
             return MergeOutcome(None, reason="no k^m-anonymous shared chunk could be built")
@@ -332,6 +423,7 @@ def refine(
     max_passes: int = 50,
     max_join_size: Optional[int] = 240,
     excluded_terms: frozenset = frozenset(),
+    use_bitsets: bool = True,
 ) -> list[Cluster]:
     """Algorithm REFINE: iteratively merge adjacent cluster pairs.
 
@@ -345,6 +437,9 @@ def refine(
             cluster (``None`` disables the cap); see :func:`try_merge`.
         excluded_terms: terms that must never be lifted into shared chunks
             (sensitive terms stay in term chunks for l-diversity).
+        use_bitsets: run shared-chunk selection over term bitmasks (default;
+            identical output, far fewer record scans).  ``False`` selects
+            the reference implementation, kept for equivalence testing.
 
     Returns:
         The refined list of clusters (joint clusters replace merged pairs).
@@ -373,6 +468,7 @@ def refine(
                     m,
                     max_join_size=max_join_size,
                     excluded_terms=excluded_terms,
+                    use_bitsets=use_bitsets,
                 )
                 if outcome.joint is not None:
                     merged.append(outcome.joint)

@@ -27,9 +27,14 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro.core.anonymity import IncrementalChunkChecker, validate_km_parameters
+from repro.core.anonymity import (
+    BitsetChunkChecker,
+    IncrementalChunkChecker,
+    validate_km_parameters,
+)
 from repro.core.clusters import RecordChunk, SimpleCluster, TermChunk
 from repro.core.dataset import TransactionDataset
+from repro.core.vocab import EncodedCluster
 
 
 @dataclass
@@ -122,6 +127,109 @@ def vertical_partition(
     return VerticalPartitionResult(cluster=cluster, demoted_terms=frozenset(demoted))
 
 
+def partition_domains_fast(
+    record_list: Sequence[frozenset],
+    k: int,
+    m: int,
+    enforce_lemma2: bool = True,
+) -> tuple[list[frozenset], set, set]:
+    """Bitset VERPART domain selection: the compute kernel of the phase.
+
+    The cluster is interned onto an :class:`~repro.core.vocab.EncodedCluster`
+    (term -> row bitmask), combination supports become AND + popcount, and
+    the Lemma-2 demotion loop updates only the affected chunk domain instead
+    of rescanning every record.  Greedy decisions and tie-breaks mirror the
+    reference implementation exactly, so both produce the same domains.
+
+    Split out from :func:`vertical_partition_fast` so parallel workers can
+    ship back only ``(chunk_domains, term_chunk_terms, demoted)`` -- a few
+    small term sets -- instead of fully materialized clusters.
+
+    Returns:
+        ``(chunk_domains, term_chunk_terms, demoted_terms)``.
+    """
+    view = EncodedCluster(record_list)
+    masks = view.masks
+    supports = {term: mask.bit_count() for term, mask in masks.items()}
+
+    term_chunk_terms = {t for t, s in supports.items() if s < k}
+    remaining = sorted(
+        (t for t in supports if t not in term_chunk_terms),
+        key=lambda t: (-supports[t], t),
+    )
+
+    chunk_domains: list[frozenset] = []
+    while remaining:
+        checker = BitsetChunkChecker(masks, k, m)
+        accepted: list[str] = []
+        skipped: list[str] = []
+        for term in remaining:
+            if checker.try_add(term):
+                accepted.append(term)
+            else:
+                skipped.append(term)
+        if not accepted:
+            term_chunk_terms.update(remaining)
+            break
+        chunk_domains.append(frozenset(accepted))
+        remaining = skipped
+
+    demoted: set = set()
+    if enforce_lemma2 and not term_chunk_terms:
+        coverage = _MaskCoverage(masks, chunk_domains)
+        demoted = demote_for_lemma2(coverage, supports, k, m, len(record_list))
+        term_chunk_terms.update(demoted)
+        chunk_domains = coverage.domains_frozen()
+    else:
+        chunk_domains = [d for d in chunk_domains if d]
+    return chunk_domains, term_chunk_terms, demoted
+
+
+def build_cluster_from_domains(
+    record_list: Sequence[frozenset],
+    chunk_domains: Sequence[frozenset],
+    term_chunk_terms: set,
+    demoted: set,
+    label: str,
+) -> VerticalPartitionResult:
+    """Materialize a :class:`SimpleCluster` from selected chunk domains."""
+    record_chunks = [_project_chunk(record_list, domain) for domain in chunk_domains]
+    record_chunks = [chunk for chunk in record_chunks if len(chunk) > 0 and chunk.domain]
+    cluster = SimpleCluster(
+        size=len(record_list),
+        record_chunks=record_chunks,
+        term_chunk=TermChunk(term_chunk_terms),
+        label=label,
+        original_records=record_list,
+    )
+    return VerticalPartitionResult(cluster=cluster, demoted_terms=frozenset(demoted))
+
+
+def vertical_partition_fast(
+    records,
+    k: int,
+    m: int,
+    label: str = "P",
+    enforce_lemma2: bool = True,
+) -> VerticalPartitionResult:
+    """Bitset-accelerated VERPART (identical output to :func:`vertical_partition`).
+
+    Args:
+        records: the cluster's records (any iterable of term sets).
+        k, m: anonymity parameters.
+        label: stable cluster label used downstream.
+        enforce_lemma2: when ``True`` (default) enforce the Lemma-2 bound.
+    """
+    validate_km_parameters(k, m)
+    record_list = [frozenset(str(t) for t in r) for r in records]
+    chunk_domains, term_chunk_terms, demoted = partition_domains_fast(
+        record_list, k, m, enforce_lemma2=enforce_lemma2
+    )
+    return build_cluster_from_domains(
+        record_list, chunk_domains, term_chunk_terms, demoted, label
+    )
+
+
 def _project_chunk(records: Sequence[frozenset], domain: frozenset) -> RecordChunk:
     """Project the cluster records onto ``domain``; empty projections are dropped."""
     return RecordChunk(domain, (record & domain for record in records))
@@ -151,6 +259,122 @@ def satisfies_lemma2(cluster: SimpleCluster, k: int, m: int) -> bool:
     return cluster.total_subrecords() >= needed
 
 
+class _RecordCoverage:
+    """Per-domain sub-record totals over plain record sets, updated incrementally.
+
+    ``covered[i]`` is the number of records whose projection onto domain ``i``
+    is non-empty (i.e. the number of published sub-records of that chunk).
+    Demoting a term only re-counts the single domain it belonged to, instead
+    of rescanning every record for every domain on each demotion.
+    """
+
+    def __init__(self, records: Sequence[frozenset], chunk_domains: Sequence[frozenset]):
+        self._records = records
+        self._domains: list[set] = [set(d) for d in chunk_domains]
+        self._covered: list[int] = [
+            sum(1 for record in records if record & domain) for domain in self._domains
+        ]
+
+    def num_domains(self) -> int:
+        return sum(1 for d in self._domains if d)
+
+    def total(self) -> int:
+        return sum(c for d, c in zip(self._domains, self._covered) if d)
+
+    def assigned_terms(self) -> list:
+        return [t for d in self._domains if d for t in d]
+
+    def remove_term(self, victim) -> None:
+        for index, domain in enumerate(self._domains):
+            if victim in domain:
+                domain.discard(victim)
+                self._covered[index] = (
+                    sum(1 for record in self._records if record & domain)
+                    if domain
+                    else 0
+                )
+
+    def domains_frozen(self) -> list[frozenset]:
+        return [frozenset(d) for d in self._domains if d]
+
+
+class _MaskCoverage:
+    """Bitmask counterpart of :class:`_RecordCoverage`.
+
+    The records covered by a domain are the OR of its term masks; a
+    demotion re-ORs only the masks of the victim's domain.
+    """
+
+    def __init__(self, masks: dict, chunk_domains: Sequence[frozenset]):
+        self._masks = masks
+        self._domains: list[set] = [set(d) for d in chunk_domains]
+        self._or_masks: list[int] = [self._or_of(d) for d in self._domains]
+
+    def _or_of(self, domain) -> int:
+        mask = 0
+        for term in domain:
+            mask |= self._masks.get(term, 0)
+        return mask
+
+    def num_domains(self) -> int:
+        return sum(1 for d in self._domains if d)
+
+    def total(self) -> int:
+        return sum(
+            or_mask.bit_count()
+            for domain, or_mask in zip(self._domains, self._or_masks)
+            if domain
+        )
+
+    def assigned_terms(self) -> list:
+        return [t for d in self._domains if d for t in d]
+
+    def remove_term(self, victim) -> None:
+        for index, domain in enumerate(self._domains):
+            if victim in domain:
+                domain.discard(victim)
+                self._or_masks[index] = self._or_of(domain)
+
+    def domains_frozen(self) -> list[frozenset]:
+        return [frozenset(d) for d in self._domains if d]
+
+
+def demote_for_lemma2(
+    coverage,
+    supports,
+    k: int,
+    m: int,
+    size: int,
+    until_bound: bool = False,
+) -> set:
+    """Demote least frequent record-chunk terms until Lemma 2 holds.
+
+    Operates on a coverage tracker (:class:`_RecordCoverage` or
+    :class:`_MaskCoverage`) so each demotion only updates the affected
+    domain.  With the default ``until_bound=False`` the loop stops after the
+    first demotion (the demoted term repopulates the term chunk, which
+    already satisfies Lemma 2); ``until_bound=True`` keeps demoting until
+    the sub-record bound itself is met (used by ablations and tests that
+    exercise consecutive demotions).
+
+    Returns the set of demoted terms; ``coverage`` is updated in place.
+    """
+    demoted: set = set()
+    while True:
+        if demoted and not until_bound:
+            break  # a non-empty term chunk always satisfies Lemma 2
+        num_domains = coverage.num_domains()
+        if num_domains == 0:
+            break
+        if coverage.total() >= subrecord_bound(size, k, m, num_domains):
+            break
+        # Demote the least frequent term currently assigned to a record chunk.
+        victim = min(coverage.assigned_terms(), key=lambda t: (supports[t], t))
+        demoted.add(victim)
+        coverage.remove_term(victim)
+    return demoted
+
+
 def _enforce_lemma2(
     records: Sequence[frozenset],
     chunk_domains: list[frozenset],
@@ -164,21 +388,8 @@ def _enforce_lemma2(
 
     Returns the possibly shrunk chunk domains and the set of demoted terms.
     """
-    demoted: set = set()
-    while True:
-        if term_chunk_terms or demoted:
-            break  # a non-empty term chunk always satisfies Lemma 2
-        domains = [d for d in chunk_domains if d]
-        if not domains:
-            break
-        total = sum(
-            sum(1 for record in records if record & domain) for domain in domains
-        )
-        if total >= subrecord_bound(size, k, m, len(domains)):
-            break
-        # Demote the least frequent term currently assigned to a record chunk.
-        assigned = [t for domain in domains for t in domain]
-        victim = min(assigned, key=lambda t: (supports[t], t))
-        demoted.add(victim)
-        chunk_domains = [frozenset(d - {victim}) for d in chunk_domains]
-    return [d for d in chunk_domains if d], demoted
+    if term_chunk_terms:
+        return [d for d in chunk_domains if d], set()
+    coverage = _RecordCoverage(records, chunk_domains)
+    demoted = demote_for_lemma2(coverage, supports, k, m, size)
+    return coverage.domains_frozen(), demoted

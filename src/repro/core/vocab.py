@@ -1,0 +1,241 @@
+"""Interned-term execution core: integer vocabulary and encoded datasets.
+
+The disassociation pipeline is dominated by set operations over string
+terms.  This module provides the *encoded* substrate the hot paths run on:
+
+* :class:`Vocabulary` -- a deterministic str<->int interning table.  Term
+  ids are assigned in first-seen order; ties between equally frequent terms
+  are still broken on the *string* form so the encoded pipeline reproduces
+  the string pipeline bit-for-bit.
+* :class:`EncodedDataset` -- records stored as ``frozenset`` of int ids
+  plus per-term posting lists (term id -> set of record indices).  HORPART
+  splits become posting-list membership tests instead of dataset copies.
+* :class:`EncodedCluster` -- the per-cluster bitmask view used by VERPART:
+  each term maps to an int bitmask over the cluster's rows, so the support
+  of an m-term combination is a single ``&`` + ``bit_count()``.
+
+Everything decodes back to the string-based containers at the publication
+boundary (:mod:`repro.core.clusters`), keeping the public API and the
+serialized format unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+from repro.core.dataset import TransactionDataset
+
+
+class Vocabulary:
+    """Deterministic str<->int interning table.
+
+    Ids are dense (``0..len-1``) and assigned in first-seen order, which
+    makes encoded artifacts reproducible for a fixed input ordering.
+    """
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self, terms: Iterable[str] = ()):
+        self._ids: dict[str, int] = {}
+        self._terms: list[str] = []
+        for term in terms:
+            self.intern(term)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term) -> bool:
+        return str(term) in self._ids
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(|T|={len(self._terms)})"
+
+    def intern(self, term) -> int:
+        """Return the id of ``term``, assigning a fresh one on first sight."""
+        term = str(term)
+        tid = self._ids.get(term)
+        if tid is None:
+            tid = len(self._terms)
+            self._ids[term] = tid
+            self._terms.append(term)
+        return tid
+
+    def id_of(self, term) -> Optional[int]:
+        """The id of ``term`` or ``None`` when it was never interned."""
+        return self._ids.get(str(term))
+
+    def decode(self, tid: int) -> str:
+        """The string form of term id ``tid``."""
+        return self._terms[tid]
+
+    @property
+    def terms(self) -> list[str]:
+        """All interned terms, ordered by id (do not mutate)."""
+        return list(self._terms)
+
+    def encode_terms(self, terms: Iterable) -> frozenset:
+        """Encode an iterable of terms into a ``frozenset`` of ids (interning)."""
+        return frozenset(self.intern(t) for t in terms)
+
+    def decode_terms(self, ids: Iterable[int]) -> frozenset:
+        """Decode a collection of term ids back into string terms."""
+        decode = self._terms
+        return frozenset(decode[tid] for tid in ids)
+
+
+class EncodedDataset:
+    """A transaction dataset interned onto integer term ids.
+
+    Stores records as ``frozenset`` of int ids (positionally aligned with
+    the source dataset) and an inverted index (posting sets) mapping each
+    term id to the indices of the records containing it.  The posting sets
+    turn HORPART's ``split_on_term`` into O(1) membership tests and term
+    supports within a part into simple Counter updates over small ints.
+    """
+
+    __slots__ = ("vocab", "records", "_postings")
+
+    def __init__(self, vocab: Vocabulary, records: list[frozenset]):
+        self.vocab = vocab
+        self.records = records
+        self._postings: Optional[dict[int, set[int]]] = None
+
+    @classmethod
+    def from_dataset(cls, dataset: TransactionDataset) -> "EncodedDataset":
+        """Encode a :class:`TransactionDataset` (or any record sequence)."""
+        vocab = Vocabulary()
+        intern = vocab.intern
+        records = [frozenset(intern(t) for t in record) for record in dataset]
+        return cls(vocab, records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"EncodedDataset(n={len(self.records)}, |T|={len(self.vocab)})"
+
+    @property
+    def postings(self) -> dict[int, set[int]]:
+        """Posting sets: term id -> set of indices of records containing it."""
+        if self._postings is None:
+            postings: dict[int, set[int]] = {}
+            for index, record in enumerate(self.records):
+                for tid in record:
+                    bucket = postings.get(tid)
+                    if bucket is None:
+                        postings[tid] = {index}
+                    else:
+                        bucket.add(index)
+            self._postings = postings
+        return self._postings
+
+    def supports_in(self, indices: Sequence[int]) -> Counter:
+        """Term supports restricted to the records at ``indices``."""
+        counts: Counter = Counter()
+        records = self.records
+        for index in indices:
+            counts.update(records[index])
+        return counts
+
+    def most_frequent_in(
+        self, indices: Sequence[int], exclude: frozenset = frozenset()
+    ) -> Optional[int]:
+        """Most frequent term id within ``indices`` (ties broken on the string).
+
+        Mirrors :meth:`TransactionDataset.most_frequent_term` exactly so the
+        encoded HORPART reproduces the string HORPART's split decisions.
+        """
+        counts = self.supports_in(indices)
+        best_support = -1
+        candidates: list[int] = []
+        for tid, count in counts.items():
+            if tid in exclude:
+                continue
+            if count > best_support:
+                best_support = count
+                candidates = [tid]
+            elif count == best_support:
+                candidates.append(tid)
+        if not candidates:
+            return None
+        decode = self.vocab.decode
+        return min(candidates, key=decode)
+
+    def split_indices(
+        self, indices: Sequence[int], tid: int
+    ) -> tuple[list[int], list[int]]:
+        """Split ``indices`` into (containing ``tid``, not containing it).
+
+        Record order is preserved on both sides (HORPART's primitive).
+        """
+        posting = self.postings.get(tid, set())
+        with_term: list[int] = []
+        without_term: list[int] = []
+        for index in indices:
+            (with_term if index in posting else without_term).append(index)
+        return with_term, without_term
+
+
+class EncodedCluster:
+    """Bitmask view of one cluster: term -> int bitmask over the rows.
+
+    Bit ``i`` of ``masks[term]`` is set when row ``i`` contains the term, so
+
+    * the support of a term is ``masks[term].bit_count()`` and
+    * the support of an m-term combination is the popcount of the AND of
+      the member masks.
+
+    Keys are the original *string* terms: the cluster is its own local
+    interning scope (clusters are small), which keeps the view picklable
+    and independent of any global vocabulary -- exactly what the parallel
+    VERPART fan-out needs.
+    """
+
+    __slots__ = ("records", "masks")
+
+    def __init__(self, records: Sequence[frozenset]):
+        self.records: list[frozenset] = [frozenset(r) for r in records]
+        masks: dict[str, int] = {}
+        for row, record in enumerate(self.records):
+            bit = 1 << row
+            for term in record:
+                masks[term] = masks.get(term, 0) | bit
+        self.masks = masks
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"EncodedCluster(rows={len(self.records)}, |T|={len(self.masks)})"
+
+    def support(self, term) -> int:
+        """Support of a single term within the cluster."""
+        return self.masks.get(str(term), 0).bit_count()
+
+    def combination_support(self, terms: Iterable) -> int:
+        """Support of an itemset within the cluster (popcount of AND-ed masks)."""
+        mask = -1
+        for term in terms:
+            mask &= self.masks.get(str(term), 0)
+            if not mask:
+                return 0
+        if mask == -1:  # empty itemset: every row matches
+            return len(self.records)
+        return mask.bit_count()
+
+    def covered_rows(self, terms: Iterable) -> int:
+        """Number of rows containing at least one of ``terms`` (OR of masks)."""
+        mask = 0
+        for term in terms:
+            mask |= self.masks.get(str(term), 0)
+        return mask.bit_count()
+
+
+def iter_mask_bits(mask: int):
+    """Yield the set bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

@@ -17,12 +17,15 @@ from repro.experiments.harness import ExperimentConfig, disassociate, load_datas
 
 
 def run_fig9a(config: ExperimentConfig) -> list[dict]:
-    """Anonymization time per real-dataset proxy."""
+    """Anonymization time per real-dataset proxy (with phase timings)."""
     rows = []
     for name in config.datasets:
         original = load_dataset(name, config)
-        _published, seconds = disassociate(original, config)
-        rows.append({"dataset": name, "records": len(original), "seconds": seconds})
+        reports: list = []
+        _published, seconds = disassociate(original, config, report_sink=reports)
+        row = {"dataset": name, "records": len(original), "seconds": seconds}
+        row.update(reports[0].phase_timings())
+        rows.append(row)
     return rows
 
 
@@ -35,6 +38,9 @@ def run_fig9b(
     original = load_dataset(dataset, config)
     rows = []
     for k in ks:
-        _published, seconds = disassociate(original, config, k=k)
-        rows.append({"k": k, "seconds": seconds})
+        reports: list = []
+        _published, seconds = disassociate(original, config, k=k, report_sink=reports)
+        row = {"k": k, "seconds": seconds}
+        row.update(reports[0].phase_timings())
+        rows.append(row)
     return rows

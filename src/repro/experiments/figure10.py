@@ -27,8 +27,11 @@ def run_fig10a(
         original = generate_quest(
             num_transactions=size, domain_size=domain_size, seed=config.seed
         )
-        _published, seconds = disassociate(original, config)
-        rows.append({"records": size, "seconds": seconds})
+        reports: list = []
+        _published, seconds = disassociate(original, config, report_sink=reports)
+        row = {"records": size, "seconds": seconds}
+        row.update(reports[0].phase_timings())
+        rows.append(row)
     return rows
 
 
@@ -43,8 +46,11 @@ def run_fig10b(
         original = generate_quest(
             num_transactions=num_records, domain_size=domain, seed=config.seed
         )
-        _published, seconds = disassociate(original, config)
-        rows.append({"domain": domain, "seconds": seconds})
+        reports: list = []
+        _published, seconds = disassociate(original, config, report_sink=reports)
+        row = {"domain": domain, "seconds": seconds}
+        row.update(reports[0].phase_timings())
+        rows.append(row)
     return rows
 
 

@@ -47,6 +47,8 @@ class ExperimentConfig:
             of the re results) in a realistic regime at laptop scale.
         seed: seed shared by data generation and reconstruction.
         datasets: which real-dataset proxies to use.
+        backend: execution core passed to the engine (``encoded``/``string``).
+        jobs: worker processes for the per-cluster VERPART fan-out.
     """
 
     k: int = 5
@@ -59,6 +61,8 @@ class ExperimentConfig:
     domain_scale: float = 0.2
     seed: int = 7
     datasets: tuple = ("POS", "WV1", "WV2")
+    backend: str = "encoded"
+    jobs: int = 1
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """A copy of the configuration with some fields replaced."""
@@ -98,19 +102,30 @@ def disassociate(
     config: ExperimentConfig,
     k: Optional[int] = None,
     refine: bool = True,
+    report_sink: Optional[list] = None,
 ) -> tuple[DisassociatedDataset, float]:
-    """Run the disassociation pipeline, returning the publication and wall-clock time."""
+    """Run the disassociation pipeline, returning the publication and wall-clock time.
+
+    When ``report_sink`` is given, the run's
+    :class:`~repro.core.engine.AnonymizationReport` (phase timings) is
+    appended to it, so perf benchmarks can emit machine-readable timings
+    without changing the return contract.
+    """
     params = AnonymizationParams(
         k=config.k if k is None else k,
         m=config.m,
         max_cluster_size=config.max_cluster_size,
         refine=refine,
         verify=False,
+        backend=config.backend,
+        jobs=config.jobs,
     )
     engine = Disassociator(params)
     start = time.perf_counter()
     published = engine.anonymize(dataset)
     elapsed = time.perf_counter() - start
+    if report_sink is not None:
+        report_sink.append(engine.last_report)
     return published, elapsed
 
 

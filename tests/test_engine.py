@@ -104,6 +104,107 @@ class TestDisassociator:
         assert via_class.to_dict() == via_function.to_dict()
 
 
+class TestPipelineAPI:
+    def test_default_pipeline_phases_in_order(self):
+        from repro.core.engine import Pipeline
+
+        pipeline = Disassociator().build_pipeline()
+        assert isinstance(pipeline, Pipeline)
+        assert [phase.name for phase in pipeline.phases] == [
+            "horizontal",
+            "vertical",
+            "refine",
+            "verify",
+        ]
+
+    def test_custom_phase_is_timed_into_report(self, paper_dataset):
+        from repro.core.engine import DEFAULT_PHASES, Pipeline
+
+        class CountingPhase:
+            name = "refine"  # accounts into refine_seconds
+            calls = 0
+
+            def run(self, ctx):
+                CountingPhase.calls += 1
+
+        class CustomDisassociator(Disassociator):
+            def build_pipeline(self):
+                phases = [phase() for phase in DEFAULT_PHASES]
+                phases.insert(3, CountingPhase())
+                return Pipeline(phases)
+
+        engine = CustomDisassociator(AnonymizationParams(k=3, m=2, max_cluster_size=6))
+        engine.anonymize(paper_dataset)
+        assert CountingPhase.calls == 1
+        assert engine.last_report.refine_seconds >= 0
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ParameterError):
+            AnonymizationParams(backend="numpy")
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ParameterError):
+            AnonymizationParams(jobs=0)
+
+    def test_report_includes_encode_decode_time(self, paper_dataset):
+        engine = Disassociator(AnonymizationParams(k=3, m=2, max_cluster_size=6))
+        engine.anonymize(paper_dataset)
+        report = engine.last_report
+        assert report.encode_seconds >= 0
+        assert report.decode_seconds >= 0
+        timings = report.phase_timings()
+        assert set(timings) == {
+            "horizontal_seconds",
+            "vertical_seconds",
+            "refine_seconds",
+            "verify_seconds",
+            "encode_seconds",
+            "decode_seconds",
+            "total_seconds",
+        }
+
+
+class TestReattachSensitive:
+    def test_duplicates_consumed_in_dataset_order(self):
+        from repro.core.engine import _reattach_sensitive
+
+        # Two records share the non-sensitive projection {a} but carry
+        # different sensitive terms: FIFO matching must hand them back in
+        # dataset order, not reversed.
+        dataset = TransactionDataset([{"a", "s1"}, {"a", "s2"}, {"b"}])
+        partitions = [TransactionDataset([{"a"}, {"a"}]), TransactionDataset([{"b"}])]
+        restored = _reattach_sensitive(dataset, partitions, frozenset({"s1", "s2"}))
+        assert list(restored[0]) == [frozenset({"a", "s1"}), frozenset({"a", "s2"})]
+        assert list(restored[1]) == [frozenset({"b"})]
+
+    def test_multiplicities_preserved_with_duplicate_records(self):
+        from collections import Counter
+
+        from repro.core.engine import _reattach_sensitive
+
+        dataset = TransactionDataset(
+            [{"a", "s1"}, {"a", "s2"}, {"a", "s1"}, {"a"}, {"c", "s2"}]
+        )
+        partitions = [
+            TransactionDataset([{"a"}, {"a"}]),
+            TransactionDataset([{"a"}, {"a"}, {"c"}]),
+        ]
+        restored = _reattach_sensitive(dataset, partitions, frozenset({"s1", "s2"}))
+        flattened = Counter(r for part in restored for r in part)
+        assert flattened == Counter(iter(dataset))
+
+    def test_end_to_end_with_duplicate_sensitive_records(self):
+        dataset = TransactionDataset(
+            [{"x", "s"}, {"x"}, {"x", "s"}, {"x"}, {"x", "s"}, {"x"}]
+        )
+        published = anonymize(
+            dataset, k=2, m=2, max_cluster_size=4, sensitive_terms={"s"}
+        )
+        assert published.total_records() == 6
+        assert "s" in published.domain()
+        assert audit(published).ok
+
+
 class TestSensitiveTerms:
     def test_sensitive_terms_never_appear_in_record_chunks(self, paper_dataset):
         sensitive = {"viagra", "panic disorder"}

@@ -7,10 +7,15 @@ import pytest
 from repro.core.anonymity import is_km_anonymous
 from repro.core.dataset import TransactionDataset
 from repro.core.vertical import (
+    _MaskCoverage,
+    _RecordCoverage,
+    demote_for_lemma2,
     satisfies_lemma2,
     subrecord_bound,
     vertical_partition,
+    vertical_partition_fast,
 )
+from repro.core.vocab import EncodedCluster
 from repro.exceptions import ParameterError
 
 
@@ -139,3 +144,67 @@ class TestLemma2:
         records = TransactionDataset([{"x", "y"}] * 4)
         result = vertical_partition(records, k=2, m=2)
         assert satisfies_lemma2(result.cluster, k=2, m=2)
+
+
+class TestIncrementalDemotion:
+    """The Lemma-2 demotion loop over incremental coverage trackers."""
+
+    RECORDS = [
+        frozenset({"x"}),
+        frozenset({"x"}),
+        frozenset({"x"}),
+        frozenset({"y"}),
+        frozenset({"y"}),
+        frozenset({"y"}),
+    ]
+    DOMAINS = [frozenset({"x"}), frozenset({"y"})]
+    SUPPORTS = {"x": 3, "y": 3}
+
+    def test_default_mode_stops_after_first_demotion(self):
+        coverage = _RecordCoverage(self.RECORDS, self.DOMAINS)
+        demoted = demote_for_lemma2(coverage, self.SUPPORTS, k=3, m=2, size=6)
+        # one demoted term repopulates the term chunk, which satisfies Lemma 2
+        assert demoted == {"x"}
+        assert coverage.domains_frozen() == [frozenset({"y"})]
+
+    def test_until_bound_performs_multiple_consecutive_demotions(self):
+        # bound = 6 + 3 = 9 > 6 sub-records, and after demoting "x" the
+        # single remaining chunk still publishes 3 < 6 sub-records: the
+        # loop must demote "x" and then "y" in two consecutive steps.
+        coverage = _RecordCoverage(self.RECORDS, self.DOMAINS)
+        demoted = demote_for_lemma2(
+            coverage, self.SUPPORTS, k=3, m=2, size=6, until_bound=True
+        )
+        assert demoted == {"x", "y"}
+        assert coverage.domains_frozen() == []
+
+    def test_mask_coverage_matches_record_coverage(self):
+        cluster = EncodedCluster(self.RECORDS)
+        for until_bound in (False, True):
+            record_cov = _RecordCoverage(self.RECORDS, self.DOMAINS)
+            mask_cov = _MaskCoverage(cluster.masks, self.DOMAINS)
+            demoted_rec = demote_for_lemma2(
+                record_cov, self.SUPPORTS, k=3, m=2, size=6, until_bound=until_bound
+            )
+            demoted_mask = demote_for_lemma2(
+                mask_cov, self.SUPPORTS, k=3, m=2, size=6, until_bound=until_bound
+            )
+            assert demoted_rec == demoted_mask
+            assert record_cov.domains_frozen() == mask_cov.domains_frozen()
+
+    def test_coverage_totals_track_incremental_updates(self):
+        records = [frozenset({"a", "b"}), frozenset({"a"}), frozenset({"c"})]
+        domains = [frozenset({"a", "b"}), frozenset({"c"})]
+        coverage = _RecordCoverage(records, domains)
+        assert coverage.total() == 3
+        coverage.remove_term("a")
+        assert coverage.total() == 2  # {b} covers one record, {c} one
+        coverage.remove_term("b")
+        assert coverage.total() == 1
+        assert coverage.num_domains() == 1
+
+    def test_fast_path_demotes_same_terms_as_reference(self, example1_cluster):
+        reference = vertical_partition(example1_cluster, k=3, m=2)
+        fast = vertical_partition_fast(list(example1_cluster), k=3, m=2)
+        assert reference.demoted_terms == fast.demoted_terms
+        assert reference.cluster.to_dict() == fast.cluster.to_dict()

@@ -1,0 +1,138 @@
+"""Unit tests for the interned-term execution core (repro.core.vocab)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.anonymity import (
+    BitsetChunkChecker,
+    IncrementalChunkChecker,
+    combination_supports,
+)
+from repro.core.dataset import TransactionDataset
+from repro.core.vocab import (
+    EncodedCluster,
+    EncodedDataset,
+    Vocabulary,
+    iter_mask_bits,
+)
+from tests.conftest import PAPER_RECORDS, make_uniform_dataset
+
+
+class TestVocabulary:
+    def test_intern_assigns_dense_first_seen_ids(self):
+        vocab = Vocabulary()
+        assert vocab.intern("b") == 0
+        assert vocab.intern("a") == 1
+        assert vocab.intern("b") == 0  # idempotent
+        assert len(vocab) == 2
+
+    def test_decode_roundtrip(self):
+        vocab = Vocabulary(["x", "y", "z"])
+        for term in ("x", "y", "z"):
+            assert vocab.decode(vocab.intern(term)) == term
+
+    def test_non_string_terms_are_normalized(self):
+        vocab = Vocabulary()
+        assert vocab.intern(7) == vocab.intern("7")
+        assert "7" in vocab
+
+    def test_id_of_missing_term_is_none(self):
+        vocab = Vocabulary(["x"])
+        assert vocab.id_of("missing") is None
+
+    def test_encode_decode_terms(self):
+        vocab = Vocabulary()
+        ids = vocab.encode_terms({"a", "b", "c"})
+        assert vocab.decode_terms(ids) == frozenset({"a", "b", "c"})
+
+
+class TestEncodedDataset:
+    def test_positional_alignment_with_source(self):
+        dataset = TransactionDataset(PAPER_RECORDS)
+        encoded = EncodedDataset.from_dataset(dataset)
+        assert len(encoded) == len(dataset)
+        for record, ids in zip(dataset, encoded.records):
+            assert encoded.vocab.decode_terms(ids) == record
+
+    def test_postings_invert_the_records(self):
+        dataset = TransactionDataset(PAPER_RECORDS)
+        encoded = EncodedDataset.from_dataset(dataset)
+        for tid, indices in encoded.postings.items():
+            term = encoded.vocab.decode(tid)
+            assert indices == {i for i, r in enumerate(dataset) if term in r}
+
+    def test_supports_match_dataset(self):
+        dataset = make_uniform_dataset(50, domain=20, record_length=4, seed=3)
+        encoded = EncodedDataset.from_dataset(dataset)
+        counts = encoded.supports_in(range(len(encoded)))
+        expected = dataset.term_supports()
+        assert {encoded.vocab.decode(t): c for t, c in counts.items()} == dict(expected)
+
+    def test_most_frequent_matches_dataset_tiebreak(self):
+        dataset = TransactionDataset(PAPER_RECORDS)
+        encoded = EncodedDataset.from_dataset(dataset)
+        tid = encoded.most_frequent_in(range(len(encoded)))
+        assert encoded.vocab.decode(tid) == dataset.most_frequent_term()
+
+    def test_split_indices_preserves_order(self):
+        dataset = TransactionDataset(PAPER_RECORDS)
+        encoded = EncodedDataset.from_dataset(dataset)
+        tid = encoded.vocab.id_of("madonna")
+        with_term, without_term = encoded.split_indices(range(len(encoded)), tid)
+        assert with_term == [i for i, r in enumerate(dataset) if "madonna" in r]
+        assert without_term == [i for i, r in enumerate(dataset) if "madonna" not in r]
+
+
+class TestEncodedCluster:
+    def test_masks_encode_membership(self):
+        cluster = EncodedCluster([{"a", "b"}, {"b"}, {"a"}])
+        assert cluster.masks["a"] == 0b101
+        assert cluster.masks["b"] == 0b011
+
+    def test_supports_match_combination_supports(self):
+        records = [frozenset(r) for r in PAPER_RECORDS]
+        cluster = EncodedCluster(records)
+        counts = combination_supports(records, 2)
+        for combo, support in counts.items():
+            assert cluster.combination_support(combo) == support
+
+    def test_covered_rows_is_or_of_masks(self):
+        cluster = EncodedCluster([{"a"}, {"b"}, {"c"}, {"a", "c"}])
+        assert cluster.covered_rows({"a", "b"}) == 3
+        assert cluster.covered_rows({"z"}) == 0
+
+    def test_picklable_for_process_fanout(self):
+        cluster = EncodedCluster([{"a", "b"}, {"b"}])
+        clone = pickle.loads(pickle.dumps(cluster))
+        assert clone.masks == cluster.masks
+
+
+class TestIterMaskBits:
+    @pytest.mark.parametrize("mask", [0, 1, 0b1010, 0b1111, 1 << 40 | 1])
+    def test_matches_bit_positions(self, mask):
+        assert list(iter_mask_bits(mask)) == [
+            i for i in range(mask.bit_length()) if (mask >> i) & 1
+        ]
+
+
+class TestBitsetChunkChecker:
+    @pytest.mark.parametrize("k,m", [(2, 1), (2, 2), (3, 2), (2, 3)])
+    def test_decisions_match_string_checker(self, k, m):
+        dataset = make_uniform_dataset(24, domain=12, record_length=5, seed=k * 10 + m)
+        records = list(dataset)
+        cluster = EncodedCluster(records)
+        reference = IncrementalChunkChecker(records, k, m)
+        bitset = BitsetChunkChecker(cluster.masks, k, m)
+        for term in sorted(dataset.domain):
+            assert bitset.try_add(term) == reference.try_add(term), term
+        assert bitset.accepted_terms == reference.accepted_terms
+
+    def test_reset_clears_state(self):
+        cluster = EncodedCluster([{"a", "b"}] * 3)
+        checker = BitsetChunkChecker(cluster.masks, 2, 2)
+        assert checker.try_add("a")
+        checker.reset()
+        assert checker.accepted_terms == frozenset()
