@@ -1,0 +1,129 @@
+"""CI perf-regression gate over the committed ``BENCH_*.json`` baselines.
+
+Compares a freshly produced benchmark payload against the committed
+baseline and fails (exit code 1) when any phase timing regressed beyond a
+tolerance factor:
+
+* every numeric key ending in ``_seconds`` (at any nesting depth) whose
+  baseline value is above a noise floor must satisfy
+  ``current <= tolerance * baseline``;
+* every boolean that is ``true`` in the baseline (e.g.
+  ``outputs_identical``, ``audit_ok``) must still be ``true``;
+* a key present in the baseline but missing from the current payload is a
+  failure (a silently dropped measurement is not a pass).
+
+The tolerance is deliberately generous (default 2x): CI runners are shared
+and noisy, and the gate exists to catch step-function regressions (an
+accidental O(n^2), a dropped fast path), not single-digit-percent drift.
+Standalone on purpose -- no ``repro`` imports -- so it runs before the
+package is even installed.
+
+Usage::
+
+    python benchmarks/perf_gate.py BASELINE.json CURRENT.json [--tolerance 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Baseline timings below this many seconds are pure scheduling noise and
+#: are not gated (a 0.4ms phase "regressing" 3x means nothing).
+DEFAULT_NOISE_FLOOR = 0.05
+
+DEFAULT_TOLERANCE = 2.0
+
+
+def iter_gated_values(payload, prefix=""):
+    """Yield ``(dotted_key, value)`` for every gated entry in a payload.
+
+    Gated entries are numeric ``*_seconds`` keys and booleans, at any
+    nesting depth.
+    """
+    if not isinstance(payload, dict):
+        return
+    for key, value in sorted(payload.items()):
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from iter_gated_values(value, prefix=f"{dotted}.")
+        elif isinstance(value, bool):
+            yield dotted, value
+        elif isinstance(value, (int, float)) and key.endswith("_seconds"):
+            yield dotted, float(value)
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    noise_floor: float = DEFAULT_NOISE_FLOOR,
+) -> tuple[list[str], list[str]]:
+    """Compare payloads; returns (report lines, failure lines)."""
+    current_values = dict(iter_gated_values(current))
+    lines, failures = [], []
+    for key, base_value in iter_gated_values(baseline):
+        if key not in current_values:
+            failures.append(f"{key}: present in baseline but missing from current run")
+            continue
+        value = current_values[key]
+        if isinstance(base_value, bool):
+            if base_value and value is not True:
+                failures.append(f"{key}: baseline true, current {value!r}")
+            else:
+                lines.append(f"{key}: {base_value} -> {value}  ok")
+            continue
+        if base_value < noise_floor:
+            lines.append(
+                f"{key}: {base_value:.4f}s -> {value:.4f}s  (below {noise_floor}s floor, not gated)"
+            )
+            continue
+        ratio = value / base_value if base_value else float("inf")
+        verdict = "ok" if ratio <= tolerance else f"REGRESSION (> {tolerance:.1f}x)"
+        lines.append(f"{key}: {base_value:.4f}s -> {value:.4f}s  ({ratio:.2f}x)  {verdict}")
+        if ratio > tolerance:
+            failures.append(
+                f"{key}: {base_value:.4f}s -> {value:.4f}s ({ratio:.2f}x > {tolerance:.1f}x)"
+            )
+    return lines, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"allowed slowdown factor (default {DEFAULT_TOLERANCE}x)",
+    )
+    parser.add_argument(
+        "--noise-floor",
+        type=float,
+        default=DEFAULT_NOISE_FLOOR,
+        help=f"baseline seconds below which a phase is not gated (default {DEFAULT_NOISE_FLOOR})",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    current = json.loads(Path(args.current).read_text(encoding="utf-8"))
+    lines, failures = compare(
+        baseline, current, tolerance=args.tolerance, noise_floor=args.noise_floor
+    )
+    print(f"perf gate: {args.current} vs baseline {args.baseline}")
+    for line in lines:
+        print(f"  {line}")
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s)", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no regression beyond {args.tolerance:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,39 @@
 """Setuptools entry point.
 
-The project metadata lives in ``pyproject.toml``; this shim exists so that
-``pip install -e .`` works in fully offline environments where the ``wheel``
-package (required by PEP-660 editable builds) is unavailable and pip falls
-back to the legacy ``setup.py develop`` code path.
+Plain ``setup.py`` metadata (no ``pyproject.toml``) so that
+``pip install -e .`` works in fully offline environments where the
+``wheel`` package (required by PEP-660 editable builds) is unavailable and
+pip falls back to the legacy ``setup.py develop`` code path.  CI installs
+the package this way instead of exporting ``PYTHONPATH=src``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-disassociation",
+    version="1.0.0",
+    description=(
+        "Privacy preservation by disassociation (PVLDB 2012): "
+        "k^m-anonymization of sparse set-valued data"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+            # Back-compat alias: the CLI shipped as repro-anon before the
+            # console script existed.
+            "repro-anon=repro.cli:main",
+        ]
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Security",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+)

@@ -52,6 +52,12 @@ from repro.core import (
     reconstruct,
     verify_km_anonymity,
 )
+from repro.stream import (
+    ShardedPipeline,
+    ShardedReport,
+    StreamParams,
+    anonymize_stream,
+)
 from repro.exceptions import (
     AnonymityViolationError,
     DatasetError,
@@ -90,9 +96,13 @@ __all__ = [
     "RefinementError",
     "ReproError",
     "SharedChunk",
+    "ShardedPipeline",
+    "ShardedReport",
     "SimpleCluster",
+    "StreamParams",
     "TermChunk",
     "TransactionDataset",
+    "anonymize_stream",
     "anonymize",
     "audit",
     "reconstruct",

@@ -1,23 +1,28 @@
-"""Command-line interface: ``repro-anon``.
+"""Command-line interface: ``repro`` (alias ``repro-anon``).
 
 Sub-commands:
 
-* ``anonymize``   -- disassociate a transaction file and write the published
-  JSON (clusters, chunks, parameters).
+* ``anonymize``   -- disassociate a dataset file (transactions or JSONL) and
+  write the published JSON (clusters, chunks, parameters).  With
+  ``--stream`` the file is processed by the sharded streaming pipeline
+  under a bounded memory budget (``--shards``,
+  ``--max-records-in-memory``).
 * ``reconstruct`` -- sample a reconstructed dataset from a published JSON.
 * ``evaluate``    -- compute the paper's information-loss metrics between an
   original transaction file and a published JSON.
-* ``generate``    -- produce a synthetic dataset (Quest model or a POS/WV1/WV2
-  proxy) as a transaction file.
+* ``generate``    -- produce a synthetic dataset (Quest model, Zipf basket,
+  click-stream, or a POS/WV1/WV2 proxy) as a transaction file.
 * ``audit``       -- independently re-check the k^m-anonymity of a published
   JSON.
 
 Examples::
 
-    repro-anon generate --profile POS --scale 0.01 --output pos.txt
-    repro-anon anonymize pos.txt --k 5 --m 2 --output pos.published.json
-    repro-anon evaluate pos.txt pos.published.json
-    repro-anon reconstruct pos.published.json --seed 3 --output world.txt
+    repro generate --profile POS --scale 0.01 --output pos.txt
+    repro anonymize pos.txt --k 5 --m 2 --output pos.published.json
+    repro anonymize huge.jsonl --stream --shards 8 --jobs 4 \\
+        --max-records-in-memory 20000 --output huge.published.json
+    repro evaluate pos.txt pos.published.json
+    repro reconstruct pos.published.json --seed 3 --output world.txt
 """
 
 from __future__ import annotations
@@ -32,14 +37,22 @@ from repro.core.reconstruct import Reconstructor
 from repro.core.verification import audit
 from repro.datasets.io import (
     read_disassociated_json,
-    read_transactions,
+    read_records,
     write_disassociated_json,
     write_transactions,
 )
 from repro.datasets.quest import generate_quest
 from repro.datasets.real_proxies import available_datasets, load_proxy
+from repro.datasets.scenarios import SCENARIOS
 from repro.exceptions import ReproError
 from repro.experiments.harness import ExperimentConfig, evaluate as evaluate_metrics
+from repro.stream import (
+    DEFAULT_MAX_RECORDS_IN_MEMORY,
+    DEFAULT_SHARDS,
+    STRATEGIES,
+    ShardedPipeline,
+    StreamParams,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,8 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    anonymize = subparsers.add_parser("anonymize", help="disassociate a transaction file")
-    anonymize.add_argument("input", help="transaction file (one record per line)")
+    anonymize = subparsers.add_parser("anonymize", help="disassociate a dataset file")
+    anonymize.add_argument(
+        "input", help="dataset file (transactions or .jsonl, sniffed from extension)"
+    )
     anonymize.add_argument("--output", required=True, help="published JSON path")
     anonymize.add_argument("--k", type=int, default=5)
     anonymize.add_argument("--m", type=int, default=2)
@@ -68,6 +83,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the per-cluster VERPART fan-out (encoded backend)",
+    )
+    anonymize.add_argument(
+        "--stream",
+        action="store_true",
+        help="sharded streaming mode: bounded-memory anonymization of files "
+        "too large for one pass, with a global cross-shard verification pass",
+    )
+    anonymize.add_argument(
+        "--shards",
+        type=int,
+        default=DEFAULT_SHARDS,
+        help=f"number of shards in --stream mode (default {DEFAULT_SHARDS})",
+    )
+    anonymize.add_argument(
+        "--max-records-in-memory",
+        type=int,
+        default=DEFAULT_MAX_RECORDS_IN_MEMORY,
+        help="bound on resident records in --stream mode: planner sample, "
+        "spill buffers and per-shard windows all stay under this "
+        f"(default {DEFAULT_MAX_RECORDS_IN_MEMORY})",
+    )
+    anonymize.add_argument(
+        "--shard-strategy",
+        choices=list(STRATEGIES),
+        default="hash",
+        help="record routing: 'hash' (balanced, data-oblivious) or 'horpart' "
+        "(groups similar records per shard for better utility)",
     )
 
     reconstruct = subparsers.add_parser(
@@ -89,9 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--output", required=True, help="transaction file to write")
     generate.add_argument(
         "--profile",
-        choices=available_datasets() + ["QUEST"],
+        choices=available_datasets() + ["QUEST"] + sorted(SCENARIOS),
         default="QUEST",
-        help="real-dataset proxy profile or QUEST for the generic generator",
+        help="real-dataset proxy profile, QUEST for the generic generator, "
+        "or a synthetic scenario (ZIPF market basket, CLICKSTREAM sessions)",
     )
     generate.add_argument("--records", type=int, default=5000)
     generate.add_argument("--domain", type=int, default=1000)
@@ -105,7 +148,6 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_anonymize(args) -> int:
-    dataset = read_transactions(args.input)
     params = AnonymizationParams(
         k=args.k,
         m=args.m,
@@ -114,6 +156,20 @@ def _cmd_anonymize(args) -> int:
         backend=args.backend,
         jobs=args.jobs,
     )
+    if args.stream:
+        pipeline = ShardedPipeline(
+            params,
+            StreamParams(
+                shards=args.shards,
+                max_records_in_memory=args.max_records_in_memory,
+                strategy=args.shard_strategy,
+            ),
+        )
+        published = pipeline.anonymize_file(args.input)
+        write_disassociated_json(published, args.output)
+        print(pipeline.last_report.summary())
+        return 0
+    dataset = read_records(args.input)
     engine = Disassociator(params)
     published = engine.anonymize(dataset)
     write_disassociated_json(published, args.output)
@@ -135,7 +191,7 @@ def _cmd_reconstruct(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    original = read_transactions(args.original)
+    original = read_records(args.original)
     published = read_disassociated_json(args.published)
     config = ExperimentConfig(
         k=published.k, m=published.m, top_k=args.top_k, seed=args.seed
@@ -151,6 +207,20 @@ def _cmd_generate(args) -> int:
             num_transactions=args.records,
             domain_size=args.domain,
             avg_transaction_size=args.avg_length,
+            seed=args.seed,
+        )
+    elif args.profile == "ZIPF":
+        dataset = SCENARIOS["ZIPF"](
+            num_transactions=args.records,
+            domain_size=args.domain,
+            avg_basket_size=args.avg_length,
+            seed=args.seed,
+        )
+    elif args.profile == "CLICKSTREAM":
+        dataset = SCENARIOS["CLICKSTREAM"](
+            num_sessions=args.records,
+            num_pages=args.domain,
+            avg_session_length=args.avg_length,
             seed=args.seed,
         )
     else:

@@ -52,6 +52,19 @@ def normalize_record(record: Iterable, allow_empty: bool = False) -> Record:
     return terms
 
 
+def ensure_record(record, allow_empty: bool = False) -> Record:
+    """:func:`normalize_record`, skipped when the record is already normal.
+
+    A normalized record is a non-empty ``frozenset`` of ``str`` terms (what
+    the dataset readers yield); verifying that costs no allocations, so hot
+    streaming paths avoid rebuilding every record while non-normalized
+    inputs (lists, sets of ints, ...) still normalize identically.
+    """
+    if isinstance(record, frozenset) and record and all(type(t) is str for t in record):
+        return record
+    return normalize_record(record, allow_empty=allow_empty)
+
+
 @dataclass(frozen=True)
 class DatasetStats:
     """Summary statistics of a transactional dataset (paper, Figure 6)."""

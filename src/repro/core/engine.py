@@ -28,6 +28,11 @@ The ``backend`` parameter selects the execution core: ``"encoded"``
 original reference implementation.  Both produce identical published
 datasets (covered by the equivalence test suite).
 
+For datasets too large for one pass, :class:`ShardedPipeline` (re-exported
+here from :mod:`repro.stream`) runs this same pipeline per bounded-memory
+window inside each shard of a streamed input, then merges and globally
+re-verifies; see :mod:`repro.stream` for the streaming semantics.
+
 Typical usage::
 
     from repro import Disassociator, AnonymizationParams, TransactionDataset
@@ -507,7 +512,9 @@ def _as_dataset(partition) -> TransactionDataset:
     return TransactionDataset(partition, allow_empty=False)
 
 
-def _fill_report(report: AnonymizationReport, published: DisassociatedDataset) -> None:
+def _fill_report(report, published: DisassociatedDataset) -> None:
+    # `report` is any object with the cluster-stat fields: used for both
+    # AnonymizationReport and repro.stream's ShardedReport.
     from repro.core.clusters import JointCluster
 
     leaves = published.simple_clusters()
@@ -520,6 +527,16 @@ def _fill_report(report: AnonymizationReport, published: DisassociatedDataset) -
         1 for cluster in published.clusters for _ in cluster.iter_shared_chunks()
     )
     report.term_chunk_terms = sum(len(leaf.term_chunk) for leaf in leaves)
+
+
+def __getattr__(name: str):
+    # Lazy re-exports from repro.stream: the streaming subsystem builds on
+    # this module, so a top-level import here would be circular.
+    if name in ("ShardedPipeline", "StreamParams", "ShardedReport"):
+        from repro import stream
+
+        return getattr(stream, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def anonymize(

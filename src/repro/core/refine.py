@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional
 
 from repro.core.anonymity import (
     BitsetChunkChecker,

@@ -20,6 +20,7 @@ violation, while ``audit`` returns a full report for diagnostics and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.anonymity import (
     find_km_violation,
@@ -103,7 +104,9 @@ def _audit_cluster(cluster: Cluster, k: int, m: int, report: AuditReport) -> Non
         _audit_simple_cluster(cluster, k, m, report)
 
 
-def audit(published: DisassociatedDataset, k: int = None, m: int = None) -> AuditReport:
+def audit(
+    published: DisassociatedDataset, k: Optional[int] = None, m: Optional[int] = None
+) -> AuditReport:
     """Audit a published dataset against the paper's anonymity conditions.
 
     Args:
@@ -124,7 +127,9 @@ def audit(published: DisassociatedDataset, k: int = None, m: int = None) -> Audi
     return report
 
 
-def verify_km_anonymity(published: DisassociatedDataset, k: int = None, m: int = None) -> None:
+def verify_km_anonymity(
+    published: DisassociatedDataset, k: Optional[int] = None, m: Optional[int] = None
+) -> None:
     """Raise :class:`AnonymityViolationError` unless the dataset passes :func:`audit`."""
     report = audit(published, k, m)
     if report.ok:

@@ -1,55 +1,72 @@
 """Reading and writing transaction datasets and disassociated publications.
 
-Two on-disk formats are supported:
+Three on-disk formats are supported:
 
 * **transaction files** -- one record per line, terms separated by a
   delimiter (space by default), the format used by the classic market-basket
   datasets (POS/WV1/WV2 were distributed this way);
+* **JSONL** -- one JSON list of terms per line; the spill/interchange format
+  of the streaming subsystem (:mod:`repro.stream`), chosen because it can be
+  appended to and read back record-by-record without parsing the whole file;
 * **JSON** -- for both plain datasets and disassociated publications
   (clusters, chunks and parameters), used by the CLI and the examples.
+
+Every ``read_*`` function has a streaming ``iter_*`` counterpart that yields
+one record (``frozenset`` of terms) at a time without materializing the
+dataset, so arbitrarily large files can be processed under a fixed memory
+bound; :func:`iter_batches` groups any record iterable into bounded batches.
 """
 
 from __future__ import annotations
 
 import json
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import Union
 
 from repro.core.clusters import DisassociatedDataset
-from repro.core.dataset import TransactionDataset
+from repro.core.dataset import Record, TransactionDataset, ensure_record, normalize_record
 from repro.exceptions import DatasetFormatError
 
 PathLike = Union[str, Path]
+
+#: On-disk record formats understood by :func:`iter_records` /
+#: :func:`read_records`.  ``"auto"`` sniffs from the file extension
+#: (``.jsonl``/``.ndjson`` -> jsonl, ``.json`` -> json, anything else ->
+#: transactions).
+RECORD_FORMATS = ("auto", "transactions", "jsonl", "json")
 
 
 # --------------------------------------------------------------------------- #
 # transaction (one line per record) format
 # --------------------------------------------------------------------------- #
-def read_transactions(path: PathLike, delimiter: str = None) -> TransactionDataset:
-    """Read a transaction file: one record per line, delimiter-separated terms.
+def iter_transactions(path: PathLike, delimiter: str = None) -> Iterator[Record]:
+    """Stream a transaction file one record at a time (constant memory).
 
     Blank lines are skipped; a line with no terms after splitting raises
     :class:`~repro.exceptions.DatasetFormatError` (empty records are not
     meaningful in set-valued data).
     """
     path = Path(path)
-    records = []
     try:
         with path.open("r", encoding="utf-8") as handle:
             for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
-                terms = line.split(delimiter)
-                terms = [t for t in terms if t]
+                terms = [t for t in line.split(delimiter) if t]
                 if not terms:
                     raise DatasetFormatError(
                         f"{path}:{line_number}: record has no terms"
                     )
-                records.append(terms)
+                yield frozenset(terms)
     except OSError as exc:
         raise DatasetFormatError(f"cannot read transaction file {path}: {exc}") from exc
-    return TransactionDataset(records)
+
+
+def read_transactions(path: PathLike, delimiter: str = None) -> TransactionDataset:
+    """Read a transaction file: one record per line, delimiter-separated terms."""
+    return TransactionDataset(iter_transactions(path, delimiter=delimiter))
 
 
 def write_transactions(
@@ -60,6 +77,129 @@ def write_transactions(
     with path.open("w", encoding="utf-8") as handle:
         for record in dataset:
             handle.write(delimiter.join(sorted(record)) + "\n")
+
+
+# --------------------------------------------------------------------------- #
+# JSONL (one JSON record per line) format
+# --------------------------------------------------------------------------- #
+def iter_jsonl(path: PathLike) -> Iterator[Record]:
+    """Stream a JSONL dataset one record at a time (constant memory).
+
+    Each non-blank line must be a JSON list of terms; anything else raises
+    :class:`~repro.exceptions.DatasetFormatError` with the offending line
+    number.
+    """
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    terms = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise DatasetFormatError(
+                        f"{path}:{line_number}: invalid JSON record: {exc}"
+                    ) from exc
+                if not isinstance(terms, list) or not terms:
+                    raise DatasetFormatError(
+                        f"{path}:{line_number}: expected a non-empty JSON list of terms"
+                    )
+                yield normalize_record(terms)
+    except OSError as exc:
+        raise DatasetFormatError(f"cannot read JSONL file {path}: {exc}") from exc
+
+
+def read_jsonl(path: PathLike) -> TransactionDataset:
+    """Read a JSONL dataset (one JSON list of terms per line)."""
+    return TransactionDataset(iter_jsonl(path))
+
+
+def _dump_jsonl(records: Iterable[Iterable], path: PathLike, mode: str) -> int:
+    count = 0
+    with Path(path).open(mode, encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(sorted(str(t) for t in record)) + "\n")
+            count += 1
+    return count
+
+
+def write_jsonl(records: Iterable[Iterable], path: PathLike) -> int:
+    """Write records as JSONL (terms sorted within each record); returns the count.
+
+    Accepts any iterable of records (including a generator or a
+    :class:`TransactionDataset`), so arbitrarily large streams can be spooled
+    to disk without being materialized.
+    """
+    return _dump_jsonl(records, path, "w")
+
+
+def append_jsonl(records: Iterable[Iterable], path: PathLike) -> int:
+    """Append records to a JSONL file (creating it if missing); returns the count.
+
+    This is the primitive the streaming shard spiller relies on: shard files
+    are grown buffer-by-buffer while routing, never held in memory whole.
+    """
+    return _dump_jsonl(records, path, "a")
+
+
+# --------------------------------------------------------------------------- #
+# format dispatch and batching
+# --------------------------------------------------------------------------- #
+def sniff_format(path: PathLike) -> str:
+    """Guess the record format of ``path`` from its extension."""
+    suffix = Path(path).suffix.lower()
+    if suffix in (".jsonl", ".ndjson"):
+        return "jsonl"
+    if suffix == ".json":
+        return "json"
+    return "transactions"
+
+
+def iter_records(
+    path: PathLike, format: str = "auto", delimiter: str = None
+) -> Iterator[Record]:
+    """Stream the records of a dataset file in any supported format.
+
+    ``transactions`` and ``jsonl`` stream with constant memory; ``json``
+    (a single JSON array) necessarily parses the whole file first.
+    """
+    if format not in RECORD_FORMATS:
+        raise DatasetFormatError(
+            f"unknown record format {format!r}; expected one of {RECORD_FORMATS}"
+        )
+    if format == "auto":
+        format = sniff_format(path)
+    if format == "jsonl":
+        return iter_jsonl(path)
+    if format == "json":
+        return iter(read_dataset_json(path))
+    return iter_transactions(path, delimiter=delimiter)
+
+
+def read_records(path: PathLike, format: str = "auto", delimiter: str = None) -> TransactionDataset:
+    """Read a whole dataset file in any supported format."""
+    return TransactionDataset(iter_records(path, format=format, delimiter=delimiter))
+
+
+def iter_batches(records: Iterable[Iterable], batch_size: int) -> Iterator[list[Record]]:
+    """Group any record iterable into lists of at most ``batch_size`` records.
+
+    The batch under construction is the only state held, so chaining this
+    onto :func:`iter_transactions` / :func:`iter_jsonl` bounds peak resident
+    records at ``batch_size`` regardless of file size.
+    """
+    if batch_size < 1:
+        raise DatasetFormatError(f"batch_size must be >= 1, got {batch_size}")
+    batch: list[Record] = []
+    for record in records:
+        batch.append(ensure_record(record))
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
 
 
 # --------------------------------------------------------------------------- #

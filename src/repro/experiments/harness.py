@@ -49,6 +49,14 @@ class ExperimentConfig:
         datasets: which real-dataset proxies to use.
         backend: execution core passed to the engine (``encoded``/``string``).
         jobs: worker processes for the per-cluster VERPART fan-out.
+        stream: route runs through the sharded streaming pipeline
+            (:class:`~repro.stream.ShardedPipeline`) instead of the
+            single-pass engine.
+        shards: number of shards in streaming mode.
+        max_records_in_memory: streaming memory bound; ``None`` uses the
+            subsystem default.
+        shard_strategy: record routing in streaming mode (``hash`` /
+            ``horpart``).
     """
 
     k: int = 5
@@ -63,6 +71,10 @@ class ExperimentConfig:
     datasets: tuple = ("POS", "WV1", "WV2")
     backend: str = "encoded"
     jobs: int = 1
+    stream: bool = False
+    shards: int = 4
+    max_records_in_memory: Optional[int] = None
+    shard_strategy: str = "hash"
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """A copy of the configuration with some fields replaced."""
@@ -120,7 +132,22 @@ def disassociate(
         backend=config.backend,
         jobs=config.jobs,
     )
-    engine = Disassociator(params)
+    if config.stream:
+        from repro.stream import DEFAULT_MAX_RECORDS_IN_MEMORY, ShardedPipeline, StreamParams
+
+        bound = config.max_records_in_memory
+        if bound is None:
+            bound = DEFAULT_MAX_RECORDS_IN_MEMORY
+        engine = ShardedPipeline(
+            params,
+            StreamParams(
+                shards=config.shards,
+                max_records_in_memory=bound,
+                strategy=config.shard_strategy,
+            ),
+        )
+    else:
+        engine = Disassociator(params)
     start = time.perf_counter()
     published = engine.anonymize(dataset)
     elapsed = time.perf_counter() - start

@@ -9,7 +9,7 @@ Apriori (both are exact); tests cross-check the two implementations.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from typing import Optional
 
 from repro.core.dataset import TransactionDataset

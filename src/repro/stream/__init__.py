@@ -1,0 +1,70 @@
+"""Sharded streaming anonymization: bounded-memory disassociation at scale.
+
+The disassociation transform is embarrassingly partitionable after HORPART
+(each cluster is anonymized independently), so datasets too large for one
+:class:`~repro.core.engine.Pipeline` pass are handled by sharding the
+stream and anonymizing each shard in bounded-memory windows:
+
+* :mod:`repro.stream.planner`  -- record-to-shard routing (content hash or
+  HORPART-guided split-term bitmask);
+* :mod:`repro.stream.executor` -- :class:`ShardedPipeline`: spill, window,
+  anonymize, merge;
+* :mod:`repro.stream.boundary` -- the global verification pass that
+  re-audits the merged publication across shard boundaries and demotes
+  boundary-violating terms (the shard-boundary verification rule is
+  documented in that module's docstring).
+
+Typical usage::
+
+    from repro.stream import ShardedPipeline, StreamParams
+    from repro import AnonymizationParams
+
+    pipeline = ShardedPipeline(
+        AnonymizationParams(k=5, m=2, jobs=4),
+        StreamParams(shards=8, max_records_in_memory=10_000),
+    )
+    published = pipeline.anonymize_file("huge.jsonl")
+    print(pipeline.last_report.summary())
+"""
+
+from repro.stream.boundary import (
+    BoundaryRepairSummary,
+    demote_terms,
+    verify_and_repair,
+)
+from repro.stream.executor import (
+    DEFAULT_MAX_RECORDS_IN_MEMORY,
+    DEFAULT_SHARDS,
+    ShardedPipeline,
+    ShardedReport,
+    StreamParams,
+    anonymize_stream,
+    relabel_cluster,
+)
+from repro.stream.planner import (
+    STRATEGIES,
+    HashShardPlanner,
+    HorpartShardPlanner,
+    ShardPlanner,
+    build_planner,
+    record_fingerprint,
+)
+
+__all__ = [
+    "DEFAULT_MAX_RECORDS_IN_MEMORY",
+    "DEFAULT_SHARDS",
+    "STRATEGIES",
+    "BoundaryRepairSummary",
+    "HashShardPlanner",
+    "HorpartShardPlanner",
+    "ShardPlanner",
+    "ShardedPipeline",
+    "ShardedReport",
+    "StreamParams",
+    "anonymize_stream",
+    "build_planner",
+    "demote_terms",
+    "record_fingerprint",
+    "relabel_cluster",
+    "verify_and_repair",
+]

@@ -1,0 +1,427 @@
+"""Sharded streaming execution of the disassociation pipeline.
+
+:class:`ShardedPipeline` anonymizes datasets too large for one
+:class:`~repro.core.engine.Pipeline` pass, under a hard bound on resident
+records (``max_records_in_memory``).  One streaming pass over the input:
+
+1. **plan**   -- buffer the first ``max_records_in_memory`` records as a
+   sample and build the shard planner from it (:mod:`repro.stream.planner`);
+2. **shard**  -- route every record (sample first, then the rest of the
+   stream) to its shard's JSONL spill file, through write buffers that are
+   flushed whenever the total buffered count reaches the memory bound;
+3. **anonymize** -- for each shard in order, read the spill file back in
+   windows of at most ``max_records_in_memory`` records and run the
+   existing engine on each window (``backend=encoded`` and the ``jobs=N``
+   per-cluster VERPART fan-out apply unchanged inside the window);
+4. **merge**  -- concatenate the per-window cluster lists with
+   deterministic relabeling (``S<shard>W<window>.<label>``), so the merged
+   publication is identical for any interleaving and shared-chunk
+   contribution keys stay consistent for reconstruction;
+5. **verify** -- run the global boundary pass
+   (:mod:`repro.stream.boundary`): re-audit the merged dataset across shard
+   boundaries and demote boundary-violating terms until the independent
+   audit passes.
+
+Shards are processed *sequentially* by design: running shards concurrently
+would multiply resident records by the number of shards and void the memory
+bound.  Intra-window parallelism (``jobs``) is where the cores go; multi-
+host sharding (one shard per host) is the natural next step and only needs
+the spill files shipped.
+
+**Scope of the memory bound.**  ``max_records_in_memory`` bounds the
+*original-record working set*: the planner sample, the spill buffers and
+the window each engine run operates on.  That is where disassociation's
+superlinear costs live (HORPART/VERPART/REFINE over a window), so it is
+the bound that makes window size -- not dataset size -- the complexity
+driver.  The *output* (published clusters accumulated by merge and walked
+by the global verify) necessarily grows with the dataset, as it does for
+any API that returns the publication; private per-record data is stripped
+from the returned clusters so they hold only what would be serialized.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.core.clusters import (
+    Cluster,
+    DisassociatedDataset,
+    JointCluster,
+    SharedChunk,
+    SimpleCluster,
+)
+from repro.core.dataset import Record, TransactionDataset, ensure_record
+from repro.core.engine import AnonymizationParams, Disassociator, _fill_report
+from repro.datasets.io import append_jsonl, iter_batches, iter_jsonl, iter_records
+from repro.exceptions import ParameterError
+from repro.stream.boundary import BoundaryRepairSummary, verify_and_repair
+from repro.stream.planner import STRATEGIES, build_planner
+
+PathLike = Union[str, Path]
+
+#: Default number of shards; matches the acceptance benchmark.
+DEFAULT_SHARDS = 4
+
+#: Default bound on resident records; small enough that even the benchmark
+#: datasets need several windows per shard.
+DEFAULT_MAX_RECORDS_IN_MEMORY = 2000
+
+
+@dataclass(frozen=True)
+class StreamParams:
+    """Parameters of the sharded streaming execution.
+
+    Attributes:
+        shards: number of shards records are routed into.
+        max_records_in_memory: hard bound on the original-record working
+            set (planner sample, spill buffers and per-window datasets all
+            respect it); the accumulated output clusters are proportional
+            to the dataset, like any returned publication (see the module
+            docstring).
+        strategy: shard routing strategy (``hash`` or ``horpart``).
+        spill_dir: directory for the shard spill files.  ``None`` (default)
+            uses a temporary directory removed after the run; an explicit
+            path is created if needed and the spill files are left in place
+            for inspection.
+    """
+
+    shards: int = DEFAULT_SHARDS
+    max_records_in_memory: int = DEFAULT_MAX_RECORDS_IN_MEMORY
+    strategy: str = "hash"
+    spill_dir: Optional[PathLike] = None
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {self.shards}")
+        if self.max_records_in_memory < 2:
+            raise ParameterError(
+                f"max_records_in_memory must be >= 2, got {self.max_records_in_memory}"
+            )
+        if self.strategy not in STRATEGIES:
+            raise ParameterError(
+                f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
+            )
+
+
+@dataclass
+class ShardedReport:
+    """Timings and structural statistics of one sharded streaming run.
+
+    Mirrors :class:`~repro.core.engine.AnonymizationReport` (same cluster
+    statistics, filled by the same helper) and adds the streaming-specific
+    quantities: per-shard record counts, window counts, the observed peak
+    of the original-record working set (always <=
+    ``max_records_in_memory``; output clusters are accounted separately --
+    see the module docstring) and what the global boundary pass had to
+    repair.
+    """
+
+    num_records: int = 0
+    num_shards: int = 0
+    shard_records: list = field(default_factory=list)
+    shard_windows: list = field(default_factory=list)
+    peak_resident_records: int = 0
+    max_records_in_memory: int = 0
+    strategy: str = "hash"
+    planner: dict = field(default_factory=dict)
+    num_clusters: int = 0
+    num_joint_clusters: int = 0
+    num_record_chunks: int = 0
+    num_shared_chunks: int = 0
+    term_chunk_terms: int = 0
+    repair: BoundaryRepairSummary = field(default_factory=BoundaryRepairSummary)
+    plan_seconds: float = 0.0
+    shard_seconds: float = 0.0
+    anonymize_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    verify_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall time across the streaming phases."""
+        return (
+            self.plan_seconds
+            + self.shard_seconds
+            + self.anonymize_seconds
+            + self.merge_seconds
+            + self.verify_seconds
+        )
+
+    def phase_timings(self) -> dict:
+        """Phase timings as a plain dict (machine-readable perf output)."""
+        return {
+            "plan_seconds": self.plan_seconds,
+            "shard_seconds": self.shard_seconds,
+            "anonymize_seconds": self.anonymize_seconds,
+            "merge_seconds": self.merge_seconds,
+            "verify_seconds": self.verify_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+    def summary(self) -> str:
+        """One-line human readable summary of the run."""
+        return (
+            f"sharded run: {self.num_records} records over {self.num_shards} shard(s) "
+            f"({self.strategy}), {sum(self.shard_windows)} window(s), "
+            f"peak resident {self.peak_resident_records}/{self.max_records_in_memory} "
+            f"records, {self.num_clusters} clusters, "
+            f"{self.repair.total_demoted()} boundary demotion(s) "
+            f"in {self.total_seconds:.2f}s"
+        )
+
+
+class _ShardSpiller:
+    """Buffered writer of per-shard JSONL spill files.
+
+    Records accumulate in per-shard buffers; whenever the total buffered
+    count reaches ``buffer_bound`` every buffer is flushed (appended to its
+    shard file), so resident records never exceed the bound regardless of
+    routing skew.
+    """
+
+    def __init__(self, directory: Path, shards: int, buffer_bound: int):
+        self.paths = [directory / f"shard-{index:04d}.jsonl" for index in range(shards)]
+        # Start from empty files: append_jsonl would otherwise extend stale
+        # spills of a previous run in a user-provided spill_dir.
+        for path in self.paths:
+            path.write_text("", encoding="utf-8")
+        self.buffers: list[list[Record]] = [[] for _ in range(shards)]
+        self.buffer_bound = buffer_bound
+        self.buffered = 0
+        self.counts = [0] * shards
+        self.peak_buffered = 0
+
+    def add(self, shard: int, record: Record) -> None:
+        self.buffers[shard].append(record)
+        self.buffered += 1
+        self.peak_buffered = max(self.peak_buffered, self.buffered)
+        if self.buffered >= self.buffer_bound:
+            self.flush()
+
+    def flush(self) -> None:
+        for shard, buffer in enumerate(self.buffers):
+            if buffer:
+                self.counts[shard] += append_jsonl(buffer, self.paths[shard])
+                buffer.clear()
+        self.buffered = 0
+
+
+class ShardedPipeline:
+    """Bounded-memory sharded counterpart of :class:`~repro.core.engine.Pipeline`.
+
+    Args:
+        params: the anonymization parameters applied inside every window
+            (``verify`` is handled globally by the boundary pass, not per
+            window).
+        stream: the sharding/memory parameters.
+
+    ``max_records_in_memory`` must be at least ``params.max_cluster_size``:
+    a window smaller than the HORPART bound would silently tighten the
+    clustering and change the output semantics.
+    """
+
+    def __init__(
+        self,
+        params: Optional[AnonymizationParams] = None,
+        stream: Optional[StreamParams] = None,
+    ):
+        self.params = params if params is not None else AnonymizationParams()
+        self.stream = stream if stream is not None else StreamParams()
+        if self.stream.max_records_in_memory < self.params.max_cluster_size:
+            raise ParameterError(
+                "max_records_in_memory must be at least max_cluster_size "
+                f"(got {self.stream.max_records_in_memory} < "
+                f"{self.params.max_cluster_size})"
+            )
+        self.last_report: Optional[ShardedReport] = None
+
+    # -- public entry points ------------------------------------------- #
+    def anonymize_file(
+        self, path: PathLike, format: str = "auto", delimiter: Optional[str] = None
+    ) -> DisassociatedDataset:
+        """Stream a dataset file through the sharded pipeline."""
+        return self.run(iter_records(path, format=format, delimiter=delimiter))
+
+    def anonymize(self, dataset: TransactionDataset) -> DisassociatedDataset:
+        """Anonymize an in-memory dataset through the sharded path.
+
+        Mostly useful for equivalence testing and benchmarks; the point of
+        the subsystem is :meth:`anonymize_file` / :meth:`run` on streams
+        that never fit in memory.
+        """
+        return self.run(iter(dataset))
+
+    def run(self, records: Iterator[Iterable]) -> DisassociatedDataset:
+        """Run the five streaming phases over an iterator of records."""
+        report = ShardedReport(
+            num_shards=self.stream.shards,
+            max_records_in_memory=self.stream.max_records_in_memory,
+            strategy=self.stream.strategy,
+        )
+        self.last_report = report
+        if self.stream.spill_dir is None:
+            with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
+                published = self._run(records, Path(tmp), report)
+        else:
+            spill_dir = Path(self.stream.spill_dir)
+            spill_dir.mkdir(parents=True, exist_ok=True)
+            published = self._run(records, spill_dir, report)
+        return published
+
+    # -- phases --------------------------------------------------------- #
+    def _run(
+        self, records: Iterator[Iterable], spill_dir: Path, report: ShardedReport
+    ) -> DisassociatedDataset:
+        bound = self.stream.max_records_in_memory
+        records = iter(records)
+
+        # plan: sample the stream head (only when the strategy needs one;
+        # hash routing is data-oblivious and streams straight through).
+        start = time.perf_counter()
+        sample: list[Record] = []
+        if self.stream.strategy != "hash":
+            for record in records:
+                sample.append(ensure_record(record))
+                if len(sample) >= bound:
+                    break
+        planner = build_planner(self.stream.strategy, self.stream.shards, sample)
+        report.planner = planner.describe()
+        report.peak_resident_records = max(report.peak_resident_records, len(sample))
+        report.plan_seconds = time.perf_counter() - start
+
+        # shard: route the sample, then the rest of the stream, to spills.
+        # The sample is drained record-by-record as it is routed, so sample
+        # remainder + spill buffers together never exceed the memory bound.
+        start = time.perf_counter()
+        spiller = _ShardSpiller(spill_dir, self.stream.shards, bound)
+        sample.reverse()
+        while sample:
+            record = sample.pop()
+            spiller.add(planner.shard_of(record), record)
+        for record in records:
+            record = ensure_record(record)
+            spiller.add(planner.shard_of(record), record)
+        spiller.flush()
+        report.shard_records = list(spiller.counts)
+        report.num_records = sum(spiller.counts)
+        report.peak_resident_records = max(
+            report.peak_resident_records, spiller.peak_buffered
+        )
+        report.shard_seconds = time.perf_counter() - start
+
+        # anonymize: windows of at most `bound` records per shard, through
+        # the standard engine (encoded backend, jobs fan-out).
+        start = time.perf_counter()
+        window_params = replace(self.params, verify=False)
+        clusters: list[Cluster] = []
+        report.shard_windows = [0] * self.stream.shards
+        for shard, path in enumerate(spiller.paths):
+            for window, batch in enumerate(iter_batches(iter_jsonl(path), bound)):
+                report.peak_resident_records = max(
+                    report.peak_resident_records, len(batch)
+                )
+                report.shard_windows[shard] += 1
+                engine = Disassociator(window_params)
+                published = engine.anonymize(TransactionDataset(batch))
+                prefix = f"S{shard}W{window}."
+                clusters.extend(
+                    relabel_cluster(cluster, prefix) for cluster in published.clusters
+                )
+        report.anonymize_seconds = time.perf_counter() - start
+
+        # merge: one publication; relabeling already made labels unique.
+        start = time.perf_counter()
+        merged = DisassociatedDataset(clusters, k=self.params.k, m=self.params.m)
+        report.merge_seconds = time.perf_counter() - start
+
+        # verify: global audit across shard boundaries, demotion repair.
+        # Private original records (needed by the repair's demotion
+        # decisions) are dropped afterwards: the returned publication holds
+        # only what would be serialized.
+        start = time.perf_counter()
+        merged, report.repair = verify_and_repair(merged)
+        merged = DisassociatedDataset(
+            [_without_private_records(cluster) for cluster in merged.clusters],
+            k=merged.k,
+            m=merged.m,
+        )
+        report.verify_seconds = time.perf_counter() - start
+
+        _fill_report(report, merged)
+        return merged
+
+
+def _without_private_records(cluster: Cluster) -> Cluster:
+    """A copy of the cluster tree without the private original records."""
+    if isinstance(cluster, JointCluster):
+        return JointCluster(
+            [_without_private_records(child) for child in cluster.children],
+            cluster.shared_chunks,
+            label=cluster.label,
+        )
+    if cluster.original_records is None:
+        return cluster
+    return SimpleCluster(
+        size=cluster.size,
+        record_chunks=cluster.record_chunks,
+        term_chunk=cluster.term_chunk,
+        label=cluster.label,
+    )
+
+
+def relabel_cluster(cluster: Cluster, prefix: str) -> Cluster:
+    """Prefix every label in a cluster tree (deterministic merge identity).
+
+    Shared-chunk contribution keys reference member-cluster labels, so they
+    are rewritten with the same prefix -- reconstruction keeps slicing the
+    shared sub-records per contributing cluster correctly after the merge.
+    """
+    if isinstance(cluster, JointCluster):
+        children = [relabel_cluster(child, prefix) for child in cluster.children]
+        shared = [
+            SharedChunk(
+                chunk.domain,
+                chunk.subrecords,
+                {f"{prefix}{label}": count for label, count in chunk.contributions.items()},
+            )
+            for chunk in cluster.shared_chunks
+        ]
+        return JointCluster(children, shared, label=f"{prefix}{cluster.label}")
+    return SimpleCluster(
+        size=cluster.size,
+        record_chunks=cluster.record_chunks,
+        term_chunk=cluster.term_chunk,
+        label=f"{prefix}{cluster.label}",
+        original_records=cluster.original_records,
+    )
+
+
+def anonymize_stream(
+    source: Union[PathLike, TransactionDataset, Iterable[Iterable]],
+    k: int = 5,
+    m: int = 2,
+    shards: int = DEFAULT_SHARDS,
+    max_records_in_memory: int = DEFAULT_MAX_RECORDS_IN_MEMORY,
+    strategy: str = "hash",
+    **engine_params,
+) -> DisassociatedDataset:
+    """Functional one-call interface to the sharded streaming pipeline.
+
+    ``source`` may be a dataset file path (format sniffed from the
+    extension), a :class:`TransactionDataset` or any iterable of records.
+    Extra keyword arguments go to :class:`AnonymizationParams`.
+    """
+    params = AnonymizationParams(k=k, m=m, **engine_params)
+    stream = StreamParams(
+        shards=shards,
+        max_records_in_memory=max_records_in_memory,
+        strategy=strategy,
+    )
+    pipeline = ShardedPipeline(params, stream)
+    if isinstance(source, (str, Path)):
+        return pipeline.anonymize_file(source)
+    return pipeline.run(iter(source))

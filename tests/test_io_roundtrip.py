@@ -1,0 +1,141 @@
+"""Round-trip tests for the streaming I/O layer (``repro.datasets.io``).
+
+Every on-disk format must satisfy: write -> chunked (streaming) read ->
+identical records, in order, regardless of batch size.  These are the
+guarantees the shard spiller and the windowed executor rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import TransactionDataset
+from repro.datasets.io import (
+    append_jsonl,
+    iter_batches,
+    iter_jsonl,
+    iter_records,
+    iter_transactions,
+    read_jsonl,
+    read_records,
+    sniff_format,
+    write_dataset_json,
+    write_jsonl,
+    write_transactions,
+)
+from repro.exceptions import DatasetError, DatasetFormatError
+
+
+@pytest.fixture
+def records():
+    return [
+        frozenset({"a", "b"}),
+        frozenset({"c"}),
+        frozenset({"a", "b"}),  # duplicate: bag semantics must survive
+        frozenset({"x y", "z"}),  # term with a space (JSONL only)
+    ]
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_streaming_read_is_identity(self, records, tmp_path):
+        path = tmp_path / "data.jsonl"
+        assert write_jsonl(records, path) == len(records)
+        assert list(iter_jsonl(path)) == records
+
+    def test_read_jsonl_returns_dataset(self, records, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(records, path)
+        dataset = read_jsonl(path)
+        assert isinstance(dataset, TransactionDataset)
+        assert list(dataset) == records
+
+    def test_append_grows_in_order(self, records, tmp_path):
+        path = tmp_path / "data.jsonl"
+        append_jsonl(records[:2], path)
+        append_jsonl(records[2:], path)
+        assert list(iter_jsonl(path)) == records
+
+    def test_invalid_json_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('["a"]\nnot json\n')
+        with pytest.raises(DatasetFormatError, match=":2"):
+            list(iter_jsonl(path))
+
+    def test_non_list_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a": 1}\n')
+        with pytest.raises(DatasetFormatError, match="expected a non-empty JSON list"):
+            list(iter_jsonl(path))
+
+    def test_empty_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[]\n")
+        with pytest.raises(DatasetFormatError):
+            list(iter_jsonl(path))
+
+
+class TestTransactionsStreaming:
+    def test_write_then_streaming_read_is_identity(self, tmp_path):
+        records = [frozenset({"a", "b"}), frozenset({"c"}), frozenset({"a", "b"})]
+        path = tmp_path / "data.txt"
+        write_transactions(TransactionDataset(records), path)
+        assert list(iter_transactions(path)) == records
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("a b\n\n\nc\n")
+        assert list(iter_transactions(path)) == [frozenset({"a", "b"}), frozenset({"c"})]
+
+
+class TestFormatDispatch:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [("d.jsonl", "jsonl"), ("d.ndjson", "jsonl"), ("d.json", "json"), ("d.txt", "transactions"), ("d.dat", "transactions")],
+    )
+    def test_sniff_format(self, name, expected):
+        assert sniff_format(name) == expected
+
+    def test_iter_records_auto_on_each_format(self, records, tmp_path):
+        jsonl = tmp_path / "d.jsonl"
+        write_jsonl(records, jsonl)
+        assert list(iter_records(jsonl)) == records
+
+        plain = [r for r in records if all(" " not in t for t in r)]
+        txt = tmp_path / "d.txt"
+        write_transactions(TransactionDataset(plain), txt)
+        assert list(iter_records(txt)) == plain
+
+        jsonp = tmp_path / "d.json"
+        write_dataset_json(TransactionDataset(records), jsonp)
+        assert list(iter_records(jsonp)) == records
+
+    def test_read_records_matches_iter_records(self, records, tmp_path):
+        path = tmp_path / "d.jsonl"
+        write_jsonl(records, path)
+        assert list(read_records(path)) == list(iter_records(path))
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(DatasetFormatError, match="unknown record format"):
+            list(iter_records(tmp_path / "d.txt", format="parquet"))
+
+
+class TestIterBatches:
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, 100])
+    def test_batches_partition_the_stream_in_order(self, records, batch_size):
+        batches = list(iter_batches(iter(records), batch_size))
+        assert all(len(batch) <= batch_size for batch in batches)
+        assert [r for batch in batches for r in batch] == records
+
+    def test_round_trip_through_file_and_batches(self, records, tmp_path):
+        path = tmp_path / "d.jsonl"
+        write_jsonl(records, path)
+        rebuilt = [r for batch in iter_batches(iter_jsonl(path), 2) for r in batch]
+        assert rebuilt == records
+
+    def test_zero_batch_size_rejected(self):
+        with pytest.raises(DatasetFormatError):
+            list(iter_batches([{"a"}], 0))
+
+    def test_empty_record_rejected_by_normalization(self):
+        with pytest.raises(DatasetError):
+            list(iter_batches([set()], 2))

@@ -1,0 +1,77 @@
+"""Tests for the synthetic scenario generators (``repro.datasets.scenarios``)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets.scenarios import (
+    SCENARIOS,
+    generate_clickstream,
+    generate_zipf_basket,
+)
+from repro.exceptions import ParameterError
+
+
+class TestZipfBasket:
+    def test_shape_and_determinism(self):
+        a = generate_zipf_basket(num_transactions=400, domain_size=100, seed=9)
+        b = generate_zipf_basket(num_transactions=400, domain_size=100, seed=9)
+        assert len(a) == 400
+        assert a.domain <= {f"sku{i}" for i in range(100)}
+        assert list(a) == list(b)
+        assert list(a) != list(
+            generate_zipf_basket(num_transactions=400, domain_size=100, seed=10)
+        )
+
+    def test_popularity_is_skewed(self):
+        dataset = generate_zipf_basket(
+            num_transactions=600, domain_size=200, zipf_exponent=1.3, seed=0
+        )
+        supports = dataset.term_supports()
+        head = sum(supports.get(f"sku{i}", 0) for i in range(10))
+        # with a Zipf catalogue the top-10 items dominate the tail
+        assert head > sum(supports.values()) * 0.2
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ParameterError):
+            generate_zipf_basket(num_transactions=0)
+        with pytest.raises(ParameterError):
+            generate_zipf_basket(zipf_exponent=0.0)
+
+
+class TestClickstream:
+    def test_shape_and_determinism(self):
+        a = generate_clickstream(num_sessions=300, num_pages=120, num_sections=6, seed=4)
+        b = generate_clickstream(num_sessions=300, num_pages=120, num_sections=6, seed=4)
+        assert len(a) == 300
+        assert list(a) == list(b)
+
+    def test_sessions_have_section_locality(self):
+        pages_per_section = 20
+        dataset = generate_clickstream(
+            num_sessions=400,
+            num_pages=120,
+            num_sections=6,
+            jump_probability=0.1,
+            seed=0,
+        )
+        home_share = []
+        for session in dataset:
+            sections = Counter(int(page[4:]) // pages_per_section for page in session)
+            home_share.append(max(sections.values()) / len(session))
+        # most clicks of most sessions stay in the home section
+        assert sum(home_share) / len(home_share) > 0.7
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ParameterError):
+            generate_clickstream(num_sections=0)
+        with pytest.raises(ParameterError):
+            generate_clickstream(jump_probability=1.5)
+
+
+def test_scenario_registry():
+    assert set(SCENARIOS) == {"ZIPF", "CLICKSTREAM"}
+    for generator in SCENARIOS.values():
+        assert callable(generator)

@@ -1,0 +1,326 @@
+"""Tests for the sharded streaming subsystem (``repro.stream``).
+
+The headline guarantee: a sharded streaming run on any input produces a
+publication that passes the same independent k^m-anonymity audit as a
+single-pass run, while never holding more than ``max_records_in_memory``
+records resident -- and does so deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.engine import AnonymizationParams, Disassociator
+from repro.core.clusters import (
+    DisassociatedDataset,
+    JointCluster,
+    RecordChunk,
+    SharedChunk,
+    SimpleCluster,
+    TermChunk,
+)
+from repro.core.verification import audit
+from repro.datasets.io import write_jsonl, write_transactions
+from repro.datasets.quest import generate_quest
+from repro.exceptions import ParameterError
+from repro.experiments.harness import TEST_CONFIG, disassociate
+from repro.stream import (
+    HashShardPlanner,
+    HorpartShardPlanner,
+    ShardedPipeline,
+    StreamParams,
+    anonymize_stream,
+    build_planner,
+    record_fingerprint,
+    relabel_cluster,
+    verify_and_repair,
+)
+
+
+@pytest.fixture(scope="module")
+def quest():
+    """Small QUEST dataset: large enough for several shards and windows."""
+    return generate_quest(
+        num_transactions=600, domain_size=150, avg_transaction_size=8.0, seed=5
+    )
+
+
+PARAMS = AnonymizationParams(k=3, m=2, max_cluster_size=12, verify=False)
+STREAM = StreamParams(shards=4, max_records_in_memory=100)
+
+
+class TestPlanners:
+    def test_fingerprint_is_content_based(self):
+        assert record_fingerprint({"b", "a"}) == record_fingerprint(["a", "b"])
+        assert record_fingerprint({"a"}) != record_fingerprint({"b"})
+
+    def test_hash_planner_partitions_and_balances(self, quest):
+        planner = HashShardPlanner(4)
+        counts = [0] * 4
+        for record in quest:
+            shard = planner.shard_of(record)
+            assert 0 <= shard < 4
+            counts[shard] += 1
+        assert all(count > len(quest) / 16 for count in counts)
+
+    def test_horpart_planner_groups_split_term_neighbours(self, quest):
+        planner = HorpartShardPlanner.from_sample(4, quest)
+        assert planner.split_terms
+        # Records with identical membership over the split terms (and at
+        # least one split term) must co-locate.
+        by_mask = {}
+        for record in quest:
+            mask = tuple(t in record for t in planner.split_terms)
+            if any(mask):
+                by_mask.setdefault(mask, set()).add(planner.shard_of(record))
+        assert all(len(shards) == 1 for shards in by_mask.values())
+
+    def test_horpart_routing_is_container_independent(self):
+        planner = HorpartShardPlanner(4, ["1", "9"])
+        routes = {
+            planner.shard_of([1, 2]),
+            planner.shard_of({1, 2}),
+            planner.shard_of(frozenset({"1", "2"})),
+            planner.shard_of(("1", "2")),
+        }
+        assert len(routes) == 1
+
+    def test_planners_are_deterministic(self, quest):
+        a = build_planner("horpart", 4, quest)
+        b = build_planner("horpart", 4, quest)
+        assert a.describe() == b.describe()
+        assert [a.shard_of(r) for r in quest] == [b.shard_of(r) for r in quest]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ParameterError, match="unknown shard strategy"):
+            build_planner("round-robin", 4)
+
+
+class TestStreamParams:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            StreamParams(shards=0)
+        with pytest.raises(ParameterError):
+            StreamParams(max_records_in_memory=1)
+        with pytest.raises(ParameterError):
+            StreamParams(strategy="nope")
+
+    def test_memory_bound_must_fit_a_cluster(self):
+        with pytest.raises(ParameterError, match="max_records_in_memory"):
+            ShardedPipeline(
+                AnonymizationParams(max_cluster_size=50),
+                StreamParams(max_records_in_memory=10),
+            )
+
+
+class TestShardedPipeline:
+    @pytest.mark.parametrize("strategy", ["hash", "horpart"])
+    def test_sharded_run_passes_global_audit(self, quest, strategy):
+        pipeline = ShardedPipeline(
+            PARAMS, StreamParams(shards=4, max_records_in_memory=100, strategy=strategy)
+        )
+        published = pipeline.anonymize(quest)
+        assert audit(published, k=3, m=2).ok
+        assert published.k == 3 and published.m == 2
+        assert published.total_records() == len(quest)
+
+    def test_memory_bound_is_respected_and_reported(self, quest):
+        pipeline = ShardedPipeline(PARAMS, STREAM)
+        pipeline.anonymize(quest)
+        report = pipeline.last_report
+        assert 0 < report.peak_resident_records <= 100
+        assert report.num_records == len(quest)
+        assert sum(report.shard_records) == len(quest)
+        # the bound forces several windows per shard on 600 records
+        assert sum(report.shard_windows) >= 4
+        assert report.total_seconds > 0
+
+    def test_sharded_run_is_deterministic(self, quest):
+        first = ShardedPipeline(PARAMS, STREAM).anonymize(quest)
+        second = ShardedPipeline(PARAMS, STREAM).anonymize(quest)
+        assert first.to_dict() == second.to_dict()
+
+    def test_published_clusters_hold_no_private_records(self, quest):
+        published = ShardedPipeline(PARAMS, STREAM).anonymize(quest)
+        assert all(
+            leaf.original_records is None for leaf in published.simple_clusters()
+        )
+
+    def test_cluster_labels_are_globally_unique(self, quest):
+        published = ShardedPipeline(PARAMS, STREAM).anonymize(quest)
+        labels = [leaf.label for leaf in published.simple_clusters()]
+        assert len(labels) == len(set(labels))
+        assert all(label.startswith("S") for label in labels)
+
+    def test_streaming_a_file_matches_streaming_memory(self, quest, tmp_path):
+        path = tmp_path / "quest.jsonl"
+        write_jsonl(quest, path)
+        from_file = ShardedPipeline(PARAMS, STREAM).anonymize_file(path)
+        in_memory = ShardedPipeline(PARAMS, STREAM).anonymize(quest)
+        assert from_file.to_dict() == in_memory.to_dict()
+
+    def test_spill_dir_is_kept_when_explicit(self, quest, tmp_path):
+        spill = tmp_path / "spill"
+        pipeline = ShardedPipeline(
+            PARAMS, StreamParams(shards=2, max_records_in_memory=100, spill_dir=spill)
+        )
+        pipeline.anonymize(quest)
+        files = sorted(spill.glob("shard-*.jsonl"))
+        assert len(files) == 2
+        # spilled records together are exactly the input (as a bag)
+        from repro.datasets.io import iter_jsonl
+
+        spilled = sorted(sorted(r) for f in files for r in iter_jsonl(f))
+        assert spilled == sorted(sorted(r) for r in quest)
+
+    def test_empty_stream_publishes_empty_dataset(self):
+        published = ShardedPipeline(PARAMS, STREAM).run(iter(()))
+        assert len(published.clusters) == 0
+        assert audit(published, k=3, m=2).ok
+
+    def test_single_shard_single_window_matches_single_pass_clusters(self, quest):
+        # With one shard and a window covering everything, the streaming
+        # path degenerates to the single-pass engine (modulo labels).
+        pipeline = ShardedPipeline(
+            PARAMS, StreamParams(shards=1, max_records_in_memory=1000)
+        )
+        sharded = pipeline.anonymize(quest)
+        single = Disassociator(PARAMS).anonymize(quest)
+        stripped = [relabel_cluster(c, "S0W0.") for c in single.clusters]
+        assert DisassociatedDataset(stripped, k=3, m=2).to_dict() == sharded.to_dict()
+
+    def test_engine_module_re_exports_sharded_pipeline(self):
+        from repro.core import engine
+
+        assert engine.ShardedPipeline is ShardedPipeline
+        assert engine.StreamParams is StreamParams
+        with pytest.raises(AttributeError):
+            engine.NoSuchThing
+
+    def test_anonymize_stream_function(self, quest, tmp_path):
+        path = tmp_path / "quest.jsonl"
+        write_jsonl(quest, path)
+        published = anonymize_stream(
+            path, k=3, m=2, shards=3, max_records_in_memory=100, max_cluster_size=12
+        )
+        assert audit(published, k=3, m=2).ok
+
+
+class TestRelabel:
+    def test_relabel_rewrites_contribution_keys(self):
+        leaf_a = SimpleCluster(2, [], TermChunk({"x"}), label="P0")
+        leaf_b = SimpleCluster(2, [], TermChunk({"y"}), label="P1")
+        joint = JointCluster(
+            [leaf_a, leaf_b],
+            [SharedChunk({"s"}, [{"s"}, {"s"}], {"P0": 1, "P1": 1})],
+            label="J[P0+P1]",
+        )
+        relabeled = relabel_cluster(joint, "S2W1.")
+        assert relabeled.label == "S2W1.J[P0+P1]"
+        assert [c.label for c in relabeled.children] == ["S2W1.P0", "S2W1.P1"]
+        assert relabeled.shared_chunks[0].contributions == {"S2W1.P0": 1, "S2W1.P1": 1}
+
+
+class TestBoundaryRepair:
+    def test_clean_dataset_untouched(self, quest):
+        published = ShardedPipeline(PARAMS, STREAM).anonymize(quest)
+        repaired, summary = verify_and_repair(published)
+        assert summary.clean
+        assert repaired.to_dict() == published.to_dict()
+
+    def test_violating_chunk_is_repaired_by_demotion(self):
+        # 'b' appears once in a k=3 chunk: a boundary-style violation.
+        records = [frozenset({"a", "b"}), frozenset({"a"}), frozenset({"a"})]
+        bad = DisassociatedDataset(
+            [
+                SimpleCluster(
+                    3,
+                    [RecordChunk({"a", "b"}, records)],
+                    TermChunk(),
+                    label="X",
+                    original_records=records,
+                )
+            ],
+            k=3,
+            m=2,
+        )
+        assert not audit(bad).ok
+        fixed, summary = verify_and_repair(bad)
+        assert audit(fixed).ok
+        assert not summary.clean
+        assert "b" in summary.demoted_terms["X"]
+        # the demoted term is still published as present
+        (cluster,) = fixed.clusters
+        assert "b" in cluster.term_chunk
+        # 'a' (support 3) stays in a record chunk
+        assert "a" in cluster.record_chunk_terms()
+
+
+    def test_shared_chunk_demotion_keeps_contributions_aligned(self):
+        from repro.stream.boundary import _shrink_shared_chunk
+
+        # P0 contributed {a,b} and {b}; P1 contributed {a}.  Demoting 'a'
+        # empties P1's only projection: its contribution must disappear so
+        # sum(contributions) still equals len(subrecords) (reconstruction
+        # relies on that invariant to slice per contributing cluster).
+        chunk = SharedChunk(
+            {"a", "b"},
+            [{"a", "b"}, {"b"}, {"a"}],
+            {"P0": 2, "P1": 1},
+        )
+        shrunk = _shrink_shared_chunk(chunk, frozenset({"b"}))
+        assert shrunk.subrecords == [frozenset({"b"}), frozenset({"b"})]
+        assert shrunk.contributions == {"P0": 2}
+        assert sum(shrunk.contributions.values()) == len(shrunk.subrecords)
+
+
+class TestHarnessIntegration:
+    def test_disassociate_routes_through_stream(self, quest):
+        config = TEST_CONFIG.with_overrides(
+            stream=True, shards=3, max_records_in_memory=100, k=3
+        )
+        reports = []
+        published, seconds = disassociate(quest, config, report_sink=reports)
+        assert audit(published, k=3, m=2).ok
+        assert seconds > 0
+        (report,) = reports
+        assert report.peak_resident_records <= 100
+
+
+class TestStreamCli:
+    def test_stream_flags(self, quest, tmp_path, capsys):
+        data = tmp_path / "quest.txt"
+        write_transactions(quest, data)
+        out = tmp_path / "published.json"
+        code = main(
+            [
+                "anonymize",
+                str(data),
+                "--output",
+                str(out),
+                "--stream",
+                "--shards",
+                "3",
+                "--max-records-in-memory",
+                "120",
+                "--shard-strategy",
+                "horpart",
+                "--k",
+                "3",
+                "--max-cluster-size",
+                "12",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "sharded run" in captured and "3 shard(s)" in captured
+        assert main(["audit", str(out)]) == 0
+
+    def test_jsonl_input_without_stream(self, quest, tmp_path):
+        data = tmp_path / "quest.jsonl"
+        write_jsonl(quest, data)
+        out = tmp_path / "published.json"
+        assert main(["anonymize", str(data), "--output", str(out), "--k", "3",
+                     "--max-cluster-size", "12"]) == 0
+        assert main(["audit", str(out)]) == 0
