@@ -7,6 +7,11 @@ tolerance factor:
 * every numeric key ending in ``_seconds`` (at any nesting depth) whose
   baseline value is above a noise floor must satisfy
   ``current <= tolerance * baseline``;
+* every numeric key under a ``counters`` / ``pipeline_counters`` object
+  (work counters: merge attempts, passes, ...) whose baseline value is at
+  least ``COUNTER_FLOOR`` must satisfy the same ratio -- the workloads are
+  deterministic, so a counter blow-up is an algorithmic regression (a dead
+  memo, an extra pass) even when a fast runner hides it in the wall time;
 * every boolean that is ``true`` in the baseline (e.g.
   ``outputs_identical``, ``audit_ok``) must still be ``true``;
 * a key present in the baseline but missing from the current payload is a
@@ -34,25 +39,39 @@ from pathlib import Path
 #: are not gated (a 0.4ms phase "regressing" 3x means nothing).
 DEFAULT_NOISE_FLOOR = 0.05
 
+#: Baseline counters below this many units are not gated (going from 2 to
+#: 5 memo skips is shape noise, going from 500 to 1500 attempts is not).
+COUNTER_FLOOR = 10
+
 DEFAULT_TOLERANCE = 2.0
 
+#: Dict keys whose numeric children are gated as work counters.
+COUNTER_SECTIONS = ("counters", "pipeline_counters")
 
-def iter_gated_values(payload, prefix=""):
-    """Yield ``(dotted_key, value)`` for every gated entry in a payload.
 
-    Gated entries are numeric ``*_seconds`` keys and booleans, at any
-    nesting depth.
+def iter_gated_values(payload, prefix="", in_counters=False):
+    """Yield ``(dotted_key, value, kind)`` for every gated entry.
+
+    ``kind`` is ``"bool"``, ``"seconds"`` or ``"counter"``; gated entries
+    are booleans, numeric ``*_seconds`` keys at any nesting depth, and
+    numeric keys under a counter section.
     """
     if not isinstance(payload, dict):
         return
     for key, value in sorted(payload.items()):
         dotted = f"{prefix}{key}"
         if isinstance(value, dict):
-            yield from iter_gated_values(value, prefix=f"{dotted}.")
+            yield from iter_gated_values(
+                value,
+                prefix=f"{dotted}.",
+                in_counters=in_counters or key in COUNTER_SECTIONS,
+            )
         elif isinstance(value, bool):
-            yield dotted, value
+            yield dotted, value, "bool"
         elif isinstance(value, (int, float)) and key.endswith("_seconds"):
-            yield dotted, float(value)
+            yield dotted, float(value), "seconds"
+        elif isinstance(value, (int, float)) and in_counters:
+            yield dotted, float(value), "counter"
 
 
 def compare(
@@ -62,30 +81,36 @@ def compare(
     noise_floor: float = DEFAULT_NOISE_FLOOR,
 ) -> tuple[list[str], list[str]]:
     """Compare payloads; returns (report lines, failure lines)."""
-    current_values = dict(iter_gated_values(current))
+    current_values = {
+        key: (value, kind) for key, value, kind in iter_gated_values(current)
+    }
     lines, failures = [], []
-    for key, base_value in iter_gated_values(baseline):
+    for key, base_value, kind in iter_gated_values(baseline):
         if key not in current_values:
             failures.append(f"{key}: present in baseline but missing from current run")
             continue
-        value = current_values[key]
-        if isinstance(base_value, bool):
+        value, _current_kind = current_values[key]
+        if kind == "bool":
             if base_value and value is not True:
                 failures.append(f"{key}: baseline true, current {value!r}")
             else:
                 lines.append(f"{key}: {base_value} -> {value}  ok")
             continue
-        if base_value < noise_floor:
+        unit = "s" if kind == "seconds" else ""
+        floor = noise_floor if kind == "seconds" else COUNTER_FLOOR
+        fmt = (lambda v: f"{v:.4f}s") if kind == "seconds" else (lambda v: f"{v:g}")
+        if base_value < floor:
             lines.append(
-                f"{key}: {base_value:.4f}s -> {value:.4f}s  (below {noise_floor}s floor, not gated)"
+                f"{key}: {fmt(base_value)} -> {fmt(value)}  "
+                f"(below {floor}{unit} floor, not gated)"
             )
             continue
         ratio = value / base_value if base_value else float("inf")
         verdict = "ok" if ratio <= tolerance else f"REGRESSION (> {tolerance:.1f}x)"
-        lines.append(f"{key}: {base_value:.4f}s -> {value:.4f}s  ({ratio:.2f}x)  {verdict}")
+        lines.append(f"{key}: {fmt(base_value)} -> {fmt(value)}  ({ratio:.2f}x)  {verdict}")
         if ratio > tolerance:
             failures.append(
-                f"{key}: {base_value:.4f}s -> {value:.4f}s ({ratio:.2f}x > {tolerance:.1f}x)"
+                f"{key}: {fmt(base_value)} -> {fmt(value)} ({ratio:.2f}x > {tolerance:.1f}x)"
             )
     return lines, failures
 

@@ -56,9 +56,41 @@ def combination_supports(records: Iterable[frozenset], m: int) -> Counter:
 
 
 def is_km_anonymous(records: Sequence[frozenset], k: int, m: int) -> bool:
-    """True when every occurring combination of up to ``m`` terms has support >= k."""
+    """True when every occurring combination of up to ``m`` terms has support >= k.
+
+    Short-circuits on the first sub-``k`` combination: terms are interned
+    onto row bitmasks and occurring combinations are enumerated depth-first
+    (AND + popcount each), pruning every subtree rooted at a non-occurring
+    combination.  Unlike :func:`find_km_violation` -- the exhaustive path,
+    kept for diagnostics -- no full support Counter is ever built, so a
+    violating chunk is rejected as soon as one bad combination is seen.
+    """
     validate_km_parameters(k, m)
-    return find_km_violation(records, k, m) is None
+    masks: dict = {}
+    for row, record in enumerate(records):
+        bit = 1 << row
+        for term in record:
+            masks[term] = masks.get(term, 0) | bit
+    ordered = list(masks.values())
+    return _masks_are_km_anonymous(ordered, -1, 0, m, k)
+
+
+def _masks_are_km_anonymous(
+    masks: Sequence[int], base: int, start: int, depth: int, k: int
+) -> bool:
+    """DFS over term masks: every occurring combination extending ``base``
+    (up to ``depth`` more terms) must keep support >= k."""
+    for index in range(start, len(masks)):
+        intersection = base & masks[index]
+        if not intersection:
+            continue
+        if intersection.bit_count() < k:
+            return False
+        if depth > 1 and not _masks_are_km_anonymous(
+            masks, intersection, index + 1, depth - 1, k
+        ):
+            return False
+    return True
 
 
 def find_km_violation(
@@ -114,11 +146,14 @@ class BitsetChunkChecker:
     Args:
         masks: mapping from term to its row bitmask.
         k, m: the anonymity parameters.
+        share_masks: adopt ``masks`` without the defensive copy.  The
+            checker never mutates it; hot callers that own the dict (and
+            build one checker per selection round) pass ``True``.
     """
 
-    def __init__(self, masks, k: int, m: int):
+    def __init__(self, masks, k: int, m: int, share_masks: bool = False):
         validate_km_parameters(k, m)
-        self._masks = dict(masks)
+        self._masks = masks if share_masks else dict(masks)
         self._k = k
         self._m = m
         self._accepted: list = []          # insertion order (for DFS)
@@ -169,6 +204,19 @@ class BitsetChunkChecker:
         if term not in self._accepted_set:
             self._accepted.append(term)
             self._accepted_set.add(term)
+
+    def remove(self, term) -> None:
+        """Remove an accepted term from the chunk domain (no-op if absent).
+
+        Removal never breaks k^m-anonymity: the supports of the remaining
+        combinations are untouched, so no rebuild or re-validation is
+        needed.  REFINE's hold-back loop uses this to shrink an accepted
+        shared-chunk domain incrementally instead of re-running the whole
+        greedy selection.
+        """
+        if term in self._accepted_set:
+            self._accepted_set.discard(term)
+            self._accepted.remove(term)
 
     def reset(self) -> None:
         """Discard the accepted terms and start a fresh chunk domain."""

@@ -31,6 +31,15 @@ from repro.core.dataset import TransactionDataset
 
 
 def _as_record(terms: Iterable) -> frozenset:
+    # Fast path: the hot constructors (chunk materialization in VERPART and
+    # REFINE) already hand over frozensets of strings; share them instead of
+    # rebuilding term by term.
+    if type(terms) is frozenset:
+        for t in terms:
+            if type(t) is not str:
+                break
+        else:
+            return terms
     return frozenset(str(t) for t in terms)
 
 
@@ -47,7 +56,7 @@ class RecordChunk:
     def __init__(self, domain: Iterable, subrecords: Iterable[Iterable]):
         self.domain: frozenset = _as_record(domain)
         self.subrecords: list[frozenset] = [
-            _as_record(sr) for sr in subrecords if _as_record(sr)
+            record for record in map(_as_record, subrecords) if record
         ]
 
     def __len__(self) -> int:
@@ -112,6 +121,24 @@ class SharedChunk(RecordChunk):
         super().__init__(domain, subrecords)
         # cluster-label -> number of (possibly empty) projections contributed
         self.contributions: dict = dict(contributions or {})
+
+    @classmethod
+    def _from_normalized(
+        cls, domain: frozenset, subrecords: list, contributions: dict
+    ) -> "SharedChunk":
+        """Construct without re-validating already-normalized content.
+
+        The REFINE chunk builder produces non-empty ``frozenset``-of-``str``
+        sub-records directly, so the public constructor's per-term coercion
+        would be pure overhead on the hottest allocation of the refine
+        phase.  Private: inputs MUST already satisfy the constructor's
+        invariants.
+        """
+        chunk = cls.__new__(cls)
+        chunk.domain = domain
+        chunk.subrecords = subrecords
+        chunk.contributions = contributions
+        return chunk
 
     def to_dict(self) -> dict:
         payload = super().to_dict()

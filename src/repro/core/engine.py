@@ -47,7 +47,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional, Protocol, Sequence
+from typing import Callable, Optional, Protocol, Sequence
 
 from repro.core.clusters import Cluster, DisassociatedDataset, SimpleCluster
 from repro.core.dataset import TransactionDataset
@@ -56,7 +56,7 @@ from repro.core.horizontal import (
     horizontal_partition,
     horizontal_partition_indices,
 )
-from repro.core.refine import refine
+from repro.core.refine import RefineStats, effective_jobs, refine
 from repro.core.verification import verify_km_anonymity
 from repro.core.vertical import (
     build_cluster_from_domains,
@@ -64,7 +64,12 @@ from repro.core.vertical import (
     vertical_partition,
     vertical_partition_fast,
 )
-from repro.core.vocab import EncodedDataset
+from repro.core.vocab import (
+    EncodedCluster,
+    EncodedDataset,
+    discard_cluster_masks,
+    register_cluster_masks,
+)
 from repro.exceptions import ParameterError
 
 #: Execution backends: the interned/bitset core and the string reference.
@@ -144,6 +149,11 @@ class AnonymizationReport:
     ``encode_seconds`` / ``decode_seconds`` break out the time spent moving
     between the string and interned representations; both are sub-intervals
     of ``horizontal_seconds`` (the phase that owns the boundary).
+
+    ``effective_jobs`` is the worker count actually used (requested
+    ``jobs`` capped at the host's CPU count); the ``refine_*`` counters
+    expose the REFINE driver's per-pass work (see
+    :class:`~repro.core.refine.RefineStats`).
     """
 
     num_records: int = 0
@@ -158,6 +168,13 @@ class AnonymizationReport:
     verify_seconds: float = 0.0
     encode_seconds: float = 0.0
     decode_seconds: float = 0.0
+    effective_jobs: int = 1
+    refine_passes: int = 0
+    refine_pairs_considered: int = 0
+    refine_merges_attempted: int = 0
+    refine_merges_applied: int = 0
+    refine_merges_skipped_memo: int = 0
+    refine_pairs_prefiltered: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -181,6 +198,18 @@ class AnonymizationReport:
             "total_seconds": self.total_seconds,
         }
 
+    def counters(self) -> dict:
+        """Work counters as a plain dict (machine-readable perf output)."""
+        return {
+            "effective_jobs": self.effective_jobs,
+            "refine_passes": self.refine_passes,
+            "refine_pairs_considered": self.refine_pairs_considered,
+            "refine_merges_attempted": self.refine_merges_attempted,
+            "refine_merges_applied": self.refine_merges_applied,
+            "refine_merges_skipped_memo": self.refine_merges_skipped_memo,
+            "refine_pairs_prefiltered": self.refine_pairs_prefiltered,
+        }
+
 
 @dataclass
 class PipelineContext:
@@ -195,6 +224,9 @@ class PipelineContext:
         clusters: VERPART output -- one :class:`SimpleCluster` per partition.
         refined: REFINE output -- simple and/or joint clusters.
         published: the final :class:`DisassociatedDataset`.
+        pool_provider: lazily returns the engine's shared worker pool (or
+            ``None``); the vertical and refine phases draw from the same
+            pool, so one ``anonymize`` call spawns processes at most once.
     """
 
     params: AnonymizationParams
@@ -205,6 +237,13 @@ class PipelineContext:
     clusters: list[SimpleCluster] = field(default_factory=list)
     refined: Optional[list[Cluster]] = None
     published: Optional[DisassociatedDataset] = None
+    pool_provider: Optional[Callable[[], Optional[ProcessPoolExecutor]]] = None
+
+    def pool(self) -> Optional[ProcessPoolExecutor]:
+        """The shared worker pool, or ``None`` when running in-process."""
+        if self.pool_provider is None:
+            return None
+        return self.pool_provider()
 
     def publish(self) -> DisassociatedDataset:
         """Build (once) and return the published dataset."""
@@ -291,9 +330,11 @@ class VerticalPhase:
     def run(self, ctx: PipelineContext) -> None:
         params = ctx.params
         partitions = ctx.partitions or []
+        ctx.report.effective_jobs = effective_jobs(params.jobs)
         if params.backend == "encoded":
-            if params.jobs > 1 and len(partitions) > 1:
-                results = _parallel_vertical(partitions, params.k, params.m, params.jobs)
+            pool = ctx.pool() if len(partitions) > 1 else None
+            if pool is not None:
+                results = _parallel_vertical(partitions, params.k, params.m, pool)
             else:
                 results = [
                     vertical_partition_fast(part, params.k, params.m, label=f"P{index}")
@@ -316,25 +357,56 @@ class VerticalPhase:
 
 
 class RefinePhase:
-    """REFINE: merge clusters into joint clusters with shared chunks."""
+    """REFINE: merge clusters into joint clusters with shared chunks.
+
+    On the encoded backend the incremental driver runs (rejected-pair memo,
+    shared mask cache) and merge attempts fan out over the engine's worker
+    pool when ``effective_jobs > 1``; the string backend keeps the
+    reference driver so backend equivalence tests cover the whole overhaul.
+    The driver's counters land on the report.
+    """
 
     name = "refine"
 
     def run(self, ctx: PipelineContext) -> None:
-        params = ctx.params
+        try:
+            self._refine(ctx)
+        finally:
+            # The per-cluster term masks VERPART registered are only read
+            # up to this point; publishing keeps the cluster objects (and
+            # with them any cache entries) alive, so release the masks
+            # here to keep resident memory bounded -- notably for the
+            # streaming path, which accumulates every window's clusters.
+            for cluster in ctx.clusters:
+                for leaf in cluster.leaves():
+                    discard_cluster_masks(leaf)
+
+    def _refine(self, ctx: PipelineContext) -> None:
+        params, report = ctx.params, ctx.report
         clusters = ctx.clusters
+        encoded = params.backend == "encoded"
         if params.refine and len(clusters) > 1:
             join_cap = params.max_join_size
             if join_cap is None:
                 join_cap = 8 * params.max_cluster_size
+            stats = RefineStats()
             ctx.refined = refine(
                 clusters,
                 params.k,
                 params.m,
                 max_join_size=join_cap,
                 excluded_terms=params.sensitive_terms,
-                use_bitsets=params.backend == "encoded",
+                use_bitsets=encoded,
+                memoize=encoded,
+                executor=ctx.pool() if encoded and len(clusters) > 2 else None,
+                stats=stats,
             )
+            report.refine_passes = stats.passes
+            report.refine_pairs_considered = stats.pairs_considered
+            report.refine_merges_attempted = stats.merges_attempted
+            report.refine_merges_applied = stats.merges_applied
+            report.refine_merges_skipped_memo = stats.skipped_by_memo
+            report.refine_pairs_prefiltered = stats.prefiltered
         else:
             ctx.refined = list(clusters)
 
@@ -360,11 +432,53 @@ class Disassociator:
     Args:
         params: the anonymization parameters; defaults to ``k=5, m=2`` as in
             the paper's experiments.
+        keep_pool: keep the worker pool (``jobs > 1``) alive across
+            ``anonymize`` calls instead of shutting it down at the end of
+            each one.  Batch drivers such as
+            :class:`~repro.stream.ShardedPipeline` set this so every window
+            inherits the already-spawned workers; callers that set it own
+            the cleanup (call :meth:`close` or use the engine as a context
+            manager).
     """
 
-    def __init__(self, params: Optional[AnonymizationParams] = None):
+    def __init__(
+        self, params: Optional[AnonymizationParams] = None, *, keep_pool: bool = False
+    ):
         self.params = params if params is not None else AnonymizationParams()
         self.last_report: Optional[AnonymizationReport] = None
+        self.keep_pool = keep_pool
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_unavailable = False
+
+    # -- worker-pool lifecycle ------------------------------------------ #
+    def _shared_pool(self) -> Optional[ProcessPoolExecutor]:
+        """The engine's worker pool, spawned lazily on first use.
+
+        Returns ``None`` when the effective job count is 1 (no pool is ever
+        set up) or when the platform cannot spawn worker processes.
+        """
+        workers = effective_jobs(self.params.jobs)
+        if workers <= 1 or self._pool_unavailable:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=workers)
+            except (OSError, RuntimeError):  # pragma: no cover - no subprocess support
+                self._pool_unavailable = True
+                return None
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op when none was spawned)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "Disassociator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def build_pipeline(self) -> Pipeline:
         """The default pipeline; override to add, drop or reorder phases."""
@@ -379,7 +493,9 @@ class Disassociator:
                 indicate a library bug, not a user error).
         """
         params = self.params
-        report = AnonymizationReport(num_records=len(dataset))
+        report = AnonymizationReport(
+            num_records=len(dataset), effective_jobs=effective_jobs(params.jobs)
+        )
         self.last_report = report
         sensitive = params.sensitive_terms
 
@@ -392,10 +508,18 @@ class Disassociator:
             )
 
         ctx = PipelineContext(
-            params=params, report=report, dataset=dataset, working=working
+            params=params,
+            report=report,
+            dataset=dataset,
+            working=working,
+            pool_provider=self._shared_pool,
         )
-        self.build_pipeline().run(ctx)
-        published = ctx.publish()
+        try:
+            self.build_pipeline().run(ctx)
+            published = ctx.publish()
+        finally:
+            if not self.keep_pool:
+                self.close()
         _fill_report(report, published)
         return published
 
@@ -465,42 +589,46 @@ def _force_sensitive_to_term_chunk(
 def _vertical_worker(payload):
     """Process-pool task: VERPART domain selection for one cluster.
 
-    Module-level for pickling.  Only the selected domains travel back to
-    the parent (a few small term sets); the parent materializes the cluster
-    from its own copy of the records, keeping IPC volume minimal.
+    Module-level for pickling.  The selected domains and the term bitmasks
+    the selection already built travel back to the parent; the parent
+    materializes the cluster from its own copy of the records and registers
+    the masks so REFINE inherits them instead of re-encoding every leaf
+    (exactly as the serial path does).
     """
     records, k, m = payload
     record_list = [frozenset(r) for r in records]
-    return partition_domains_fast(record_list, k, m)
+    view = EncodedCluster(record_list)
+    domains = partition_domains_fast(record_list, k, m, view=view)
+    return domains, view.masks, len(record_list)
 
 
-def _parallel_vertical(partitions, k: int, m: int, jobs: int):
+def _parallel_vertical(partitions, k: int, m: int, pool: ProcessPoolExecutor):
     """Fan independent per-cluster VERPART calls out over a process pool.
 
     Labels are assigned by partition index and ``Executor.map`` preserves
-    submission order, so the merge is deterministic.  Falls back to the
-    serial path when no pool can be spawned (restricted environments).
+    submission order, so the merge is deterministic.  The pool is the
+    engine's shared one (also used by REFINE) and is not shut down here.
+    Falls back to the serial path when the pool breaks mid-run.
     """
     payloads = [(tuple(part), k, m) for part in partitions]
-    workers = min(jobs, len(payloads))
+    workers = getattr(pool, "_max_workers", 1) or 1
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            chunksize = max(1, len(payloads) // (jobs * 4))
-            domain_sets = list(pool.map(_vertical_worker, payloads, chunksize=chunksize))
+        chunksize = max(1, len(payloads) // (workers * 4))
+        domain_sets = list(pool.map(_vertical_worker, payloads, chunksize=chunksize))
     except (OSError, RuntimeError):  # pragma: no cover - no subprocess support
         return [
             vertical_partition_fast(part, k, m, label=f"P{index}")
             for index, part in enumerate(partitions)
         ]
     results = []
-    for index, (payload, domains) in enumerate(zip(payloads, domain_sets)):
+    for index, (payload, outcome) in enumerate(zip(payloads, domain_sets)):
         record_list = [frozenset(r) for r in payload[0]]
-        chunk_domains, term_chunk_terms, demoted = domains
-        results.append(
-            build_cluster_from_domains(
-                record_list, chunk_domains, term_chunk_terms, demoted, f"P{index}"
-            )
+        (chunk_domains, term_chunk_terms, demoted), masks, num_rows = outcome
+        result = build_cluster_from_domains(
+            record_list, chunk_domains, term_chunk_terms, demoted, f"P{index}"
         )
+        register_cluster_masks(result.cluster, masks, num_rows)
+        results.append(result)
     return results
 
 

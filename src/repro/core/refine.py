@@ -14,12 +14,35 @@ from such terms, provided that
 
 REFINE repeatedly orders the clusters by the contents of their (virtual)
 term chunks and merges adjacent pairs until no merge is applied.
+
+The default driver is incremental, cache-aware and optionally parallel,
+with **bit-for-bit identical output** to the reference formulation (which
+is preserved behind ``memoize=False`` and exercised by the equivalence
+suite):
+
+* rejected merge attempts are **memoized** (:class:`MergeMemo`) keyed by
+  the pair's ``(identity, virtual-term-chunk)`` fingerprints -- a failed
+  attempt never mutates its inputs and a successful merge consumes both
+  members, so later passes can skip every pair whose fingerprints did not
+  change;
+* per-leaf term bitmasks are built **once per refine call**
+  (:class:`_JointMaskBuilder` + the driver's mask cache) instead of
+  re-encoding every leaf's records on every attempt and every hold-back
+  iteration, and the hold-back loop shrinks an accepted shared-chunk
+  domain via :meth:`BitsetChunkChecker.remove` when a full re-selection is
+  provably identical;
+* with ``jobs > 1`` (or an explicit ``executor``) the merge *attempts* of
+  a pass are evaluated speculatively over a process pool and replayed
+  sequentially -- attempts are read-only and adjacent pairs touch disjoint
+  leaves, so the replay applies exactly the merges the serial walk would.
 """
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
 
@@ -30,7 +53,7 @@ from repro.core.anonymity import (
     validate_km_parameters,
 )
 from repro.core.clusters import Cluster, JointCluster, SharedChunk, SimpleCluster, TermChunk
-from repro.core.vocab import EncodedCluster, iter_mask_bits
+from repro.core.vocab import cluster_masks, iter_mask_bits
 from repro.exceptions import RefinementError
 
 
@@ -47,6 +70,55 @@ class MergeOutcome:
     joint: Optional[JointCluster]
     refining_terms: frozenset = frozenset()
     reason: str = ""
+
+
+def effective_jobs(requested: int) -> int:
+    """The worker-process count actually used for a requested ``jobs`` value.
+
+    Capped at ``os.cpu_count()``: oversubscribing a host with more worker
+    processes than cores is pure scheduling and IPC overhead (the committed
+    ``BENCH_speedup.json`` measured ``jobs=4`` 1.16x *slower* end to end on
+    a 1-CPU host).  When the effective value is 1 no process pool is set up
+    at all.  Shared by the engine's pool sizing and :func:`refine`'s own
+    ``jobs`` handling so the capping policy cannot drift between them.
+    """
+    return max(1, min(requested, os.cpu_count() or 1))
+
+
+@dataclass
+class RefineStats:
+    """Per-run REFINE counters (surfaced on the engine report and benchmarks).
+
+    Attributes:
+        passes: merge passes executed.
+        pairs_considered: adjacent pairs visited by the merge walks.
+        merges_attempted: full merge attempts evaluated (with ``jobs > 1``
+            this counts speculative evaluations, some of which the replay
+            never consumes).
+        merges_applied: attempts that produced a joint cluster.
+        skipped_by_memo: pairs skipped because an identical attempt was
+            already rejected in an earlier pass.
+        prefiltered: pairs rejected by the cheap pre-checks (disjoint
+            virtual term chunks, ``max_join_size``) without building chunks.
+    """
+
+    passes: int = 0
+    pairs_considered: int = 0
+    merges_attempted: int = 0
+    merges_applied: int = 0
+    skipped_by_memo: int = 0
+    prefiltered: int = 0
+
+    def as_dict(self) -> dict:
+        """The counters as a plain dict (machine-readable perf output)."""
+        return {
+            "passes": self.passes,
+            "pairs_considered": self.pairs_considered,
+            "merges_attempted": self.merges_attempted,
+            "merges_applied": self.merges_applied,
+            "skipped_by_memo": self.skipped_by_memo,
+            "prefiltered": self.prefiltered,
+        }
 
 
 # --------------------------------------------------------------------------- #
@@ -79,9 +151,330 @@ def _leaves_with_originals(cluster: Cluster) -> list[SimpleCluster]:
     return leaves
 
 
+def _liftable_supports(cluster: Cluster, cache: Optional[dict]) -> dict:
+    """Total liftable support of each of the cluster's term-chunk terms.
+
+    For every term in a leaf's term chunk this sums the term's support over
+    that leaf's original records; because the joint row axis concatenates
+    the leaves, a refining term's *joint* support is exactly
+    ``supports_left[t] + supports_right[t]``.  The dict is immutable for a
+    surviving top-level cluster (only successful merges touch term chunks,
+    and they consume both members), so the driver caches it per cluster and
+    merge attempts decide term eligibility with two dict lookups instead of
+    assembling joint masks.
+    """
+    if cache is not None:
+        entry = cache.get(id(cluster))
+        if entry is not None:
+            return entry
+    supports: dict = {}
+    for leaf in cluster.leaves():
+        masks, _num_rows = cluster_masks(leaf)
+        for term in leaf.term_chunk.terms:
+            mask = masks.get(term)
+            if mask:
+                supports[term] = supports.get(term, 0) + mask.bit_count()
+    if cache is not None:
+        cache[id(cluster)] = supports
+    return supports
+
+
+# --------------------------------------------------------------------------- #
+# rejected-attempt memoization
+# --------------------------------------------------------------------------- #
+class MergeMemo:
+    """Remembers rejected merge attempts between cluster pairs.
+
+    A pair is keyed by both members' **state fingerprints**: the cluster's
+    identity plus its current virtual term chunk.  A rejected attempt never
+    mutates its inputs, so as long as both fingerprints are unchanged the
+    attempt would be rejected again and can be skipped.  A *successful*
+    merge lifts terms out of the members' leaf term chunks, which changes
+    the virtual term chunk of every cluster built on those leaves -- stale
+    rejections therefore miss automatically (memo invalidation).
+    """
+
+    __slots__ = ("_rejected",)
+
+    def __init__(self):
+        self._rejected: set = set()
+
+    def __len__(self) -> int:
+        return len(self._rejected)
+
+    @staticmethod
+    def _fingerprint(cluster: Cluster, vtc_map: Optional[dict]) -> tuple:
+        if vtc_map is not None:
+            vtc = vtc_map.get(id(cluster))
+            if vtc is not None:
+                return (id(cluster), vtc)
+        return (id(cluster), virtual_term_chunk(cluster))
+
+    @classmethod
+    def _key(cls, left: Cluster, right: Cluster, vtc_map: Optional[dict]) -> tuple:
+        a = cls._fingerprint(left, vtc_map)
+        b = cls._fingerprint(right, vtc_map)
+        # Rejection is symmetric in the pair (chunk selection only depends on
+        # row/term multisets), so normalize the key on the identity part.
+        return (a, b) if a[0] <= b[0] else (b, a)
+
+    def is_rejected(
+        self, left: Cluster, right: Cluster, vtc_map: Optional[dict] = None
+    ) -> bool:
+        """True when this exact pair state was already rejected."""
+        return self._key(left, right, vtc_map) in self._rejected
+
+    def record_rejection(
+        self, left: Cluster, right: Cluster, vtc_map: Optional[dict] = None
+    ) -> None:
+        """Record a rejected attempt for the pair's current fingerprints."""
+        self._rejected.add(self._key(left, right, vtc_map))
+
+
 # --------------------------------------------------------------------------- #
 # shared-chunk construction
 # --------------------------------------------------------------------------- #
+class _ProjectionClasses:
+    """Distinct-projection row classes as bitmasks (Property-1 k-anonymity).
+
+    Rows with identical projections onto the accepted terms form one class;
+    a class is represented by the bitmask of its rows, and rows whose
+    projection is still empty live in a separate (uncounted) pool.  Adding
+    a term splits every class on the term's mask, so the k-anonymity check
+    for a candidate is one AND + popcount per class instead of rebuilding a
+    Counter of frozenset projections over every row.
+    """
+
+    __slots__ = ("_classes", "_empty")
+
+    def __init__(self, num_rows: int, accepted_masks=()):
+        self._classes: list[int] = []
+        self._empty = (1 << num_rows) - 1
+        for mask in accepted_masks:
+            self.split_on(mask)
+
+    def split_on(self, term_mask: int) -> None:
+        """Refine the classes after a term is accepted into the domain."""
+        split: list[int] = []
+        for rows in self._classes:
+            inside = rows & term_mask
+            outside = rows ^ inside
+            if inside:
+                split.append(inside)
+            if outside:
+                split.append(outside)
+        fresh = self._empty & term_mask
+        if fresh:
+            split.append(fresh)
+            self._empty ^= fresh
+        self._classes = split
+
+    def k_anonymous_with(self, term_mask: int, k: int) -> bool:
+        """Would every non-empty projection still occur >= k times if the
+        term were accepted?  (Exactly the reference check: each class splits
+        into rows gaining the term and rows keeping their projection, and
+        empty-projection rows gaining the term form one new class.)"""
+        for rows in self._classes:
+            inside = rows & term_mask
+            if inside and inside.bit_count() < k:
+                return False
+            outside = rows ^ inside
+            if outside and outside.bit_count() < k:
+                return False
+        fresh = self._empty & term_mask
+        if fresh and fresh.bit_count() < k:
+            return False
+        return True
+
+
+class _JointMaskBuilder:
+    """Bitmask view of a prospective joint cluster's liftable rows.
+
+    Per-leaf term masks (term -> bitmask over the leaf's original records)
+    come from the weak per-cluster cache (:func:`repro.core.vocab.cluster_masks`,
+    warmed by VERPART), and every merge attempt assembles joint masks by
+    shifting the leaf masks onto a shared row axis.  This replaces the
+    per-attempt (and per-hold-back-iteration) re-encoding of every leaf's
+    records.
+    """
+
+    __slots__ = ("_sources", "num_rows")
+
+    def __init__(self, leaves: Sequence[SimpleCluster]):
+        self._sources: list[tuple[SimpleCluster, dict, int]] = []
+        offset = 0
+        for leaf in leaves:
+            masks, num_rows = cluster_masks(leaf)
+            self._sources.append((leaf, masks, offset))
+            offset += num_rows
+        self.num_rows = offset
+
+    def joint_masks(self, candidates) -> dict:
+        """Joint row bitmasks of the candidate terms.
+
+        A leaf contributes a term's rows only when the term lies in *its
+        own* term chunk (so a record never feeds the same association into
+        both a record chunk and a shared chunk).
+        """
+        joint: dict = {}
+        for leaf, masks, offset in self._sources:
+            for term in leaf.term_chunk.terms & candidates:
+                mask = masks.get(term)
+                if mask:
+                    joint[term] = joint.get(term, 0) | (mask << offset)
+        return joint
+
+    def select_domains(
+        self, candidates: frozenset, restricted_terms: frozenset, k: int, m: int
+    ) -> tuple[list[frozenset], Optional[BitsetChunkChecker], bool, dict]:
+        """Greedy shared-chunk domain selection over the joint masks.
+
+        Assembles the joint masks for ``candidates`` and delegates to
+        :func:`_select_domains_from_masks`; ``supports`` maps each
+        positive-support candidate to its joint support (which for a placed
+        term equals its support inside its shared chunk, so the Equation-1
+        criterion never needs materialized chunks).
+        """
+        masks = self.joint_masks(candidates)
+        supports = {term: mask.bit_count() for term, mask in masks.items()}
+        domains, checker, single_round = _select_domains_from_masks(
+            masks, self.num_rows, supports, restricted_terms, k, m
+        )
+        return domains, checker, single_round, supports
+
+    def build_chunks(
+        self, domains: Sequence[frozenset]
+    ) -> tuple[list[SharedChunk], frozenset]:
+        """Materialize the shared chunks for the selected domains.
+
+        Sub-records are reassembled from the cached leaf masks in original
+        record order, with per-leaf contribution counts in leaf order --
+        exactly what projecting every record would produce.
+        """
+        shared_chunks: list[SharedChunk] = []
+        placed: set = set()
+        for domain in domains:
+            subrecords: list[frozenset] = []
+            contributions: dict = {}
+            for leaf, masks, _offset in self._sources:
+                term_masks = []
+                or_mask = 0
+                for term in domain & leaf.term_chunk.terms:
+                    mask = masks.get(term, 0)
+                    if mask:
+                        term_masks.append((term, mask))
+                        or_mask |= mask
+                count = or_mask.bit_count()
+                contributions[leaf.label] = count
+                # iter_mask_bits yields rows in increasing order, i.e. the
+                # leaf's original record order.
+                if len(term_masks) == 1:
+                    # One liftable term: every sub-record is the same
+                    # singleton (shared, like the projections would be).
+                    subrecords.extend([frozenset((term_masks[0][0],))] * count)
+                else:
+                    subrecords.extend(
+                        frozenset(t for t, mask in term_masks if (mask >> row) & 1)
+                        for row in iter_mask_bits(or_mask)
+                    )
+            shared_chunks.append(
+                SharedChunk._from_normalized(domain, subrecords, contributions)
+            )
+            placed.update(domain)
+        return shared_chunks, frozenset(placed)
+
+
+def _select_domains_from_masks(
+    masks: dict,
+    num_rows: int,
+    supports: dict,
+    restricted_terms: frozenset,
+    k: int,
+    m: int,
+) -> tuple[list[frozenset], Optional[BitsetChunkChecker], bool]:
+    """Greedy shared-chunk domain selection over prebuilt joint masks.
+
+    Identical decisions to the reference selector: candidates are taken in
+    decreasing joint-support order, a candidate joins the current domain
+    when the chunk stays k^m-anonymous (plus plainly k-anonymous once the
+    domain touches ``restricted_terms``), and skipped candidates seed the
+    next domain.
+
+    Returns ``(domains, last_checker, single_round)``; ``single_round`` is
+    ``True`` when the very first round accepted every eligible candidate
+    (one domain, nothing skipped), the precondition of the hold-back fast
+    path.
+    """
+    # A term with joint support < k can never join any domain (its
+    # singleton combination is already sub-k); dropping such terms here
+    # skips their per-round re-evaluation without changing a single
+    # accept/skip decision.
+    remaining = sorted(
+        (t for t in supports if supports[t] >= k),
+        key=lambda t: (-supports[t], t),
+    )
+    num_candidates = len(remaining)
+
+    # The m <= 2 case (the paper's default) inlines the k^m check to a
+    # local loop over the accepted masks: every remaining term already has
+    # singleton support >= k, so only the pairwise AND + popcounts are
+    # left.  m >= 3 keeps the checker's pruned DFS.  Decisions are
+    # identical in both shapes.
+    fast_pairs = m <= 2
+    domains: list[frozenset] = []
+    checker: Optional[BitsetChunkChecker] = None
+    while remaining:
+        if not fast_pairs:
+            checker = BitsetChunkChecker(masks, k, m, share_masks=True)
+        # Distinct-projection row classes feed the Property-1 k-anonymity
+        # check; they are materialized only when a candidate actually
+        # touches `restricted_terms` (most pairs never do).
+        classes: Optional[_ProjectionClasses] = None
+        accepted: list = []
+        accepted_masks: list = []
+        skipped: list = []
+        touches_restricted = False
+        for term in remaining:
+            mask = masks[term]
+            if fast_pairs:
+                ok = True
+                if m == 2:
+                    for prior in accepted_masks:
+                        intersection = mask & prior
+                        if intersection and intersection.bit_count() < k:
+                            ok = False
+                            break
+            else:
+                ok = checker.would_remain_anonymous(term)
+            if ok and (touches_restricted or term in restricted_terms):
+                if classes is None:
+                    classes = _ProjectionClasses(num_rows, accepted_masks)
+                ok = classes.k_anonymous_with(mask, k)
+            if not ok:
+                skipped.append(term)
+                continue
+            accepted.append(term)
+            accepted_masks.append(mask)
+            if not fast_pairs:
+                checker.add(term)
+            if term in restricted_terms:
+                touches_restricted = True
+            if classes is not None:
+                classes.split_on(mask)
+        if not accepted:
+            break
+        domains.append(frozenset(accepted))
+        remaining = skipped
+    single_round = len(domains) == 1 and len(domains[0]) == num_candidates
+    if single_round and checker is None:
+        # The hold-back fast path shrinks the accepted domain through the
+        # checker; synthesize one for the inlined m <= 2 rounds.
+        checker = BitsetChunkChecker(masks, k, m, share_masks=True)
+        for term in domains[0]:
+            checker.add(term)
+    return domains, checker, single_round
+
+
 def build_shared_chunks(
     leaves: Sequence[SimpleCluster],
     refining_terms: frozenset,
@@ -115,8 +508,14 @@ def build_shared_chunks(
         stay in the term chunks).
     """
     validate_km_parameters(k, m)
-    # Pre-compute, per leaf, the projection source: original records
-    # restricted to the refining terms that live in that leaf's term chunk.
+    if use_bitsets:
+        builder = _JointMaskBuilder(leaves)
+        domains, _checker, _single, _supports = builder.select_domains(
+            frozenset(refining_terms), restricted_terms, k, m
+        )
+        return builder.build_chunks(domains)
+
+    # Reference path: full re-projection of every record.
     per_leaf_sources: list[tuple[SimpleCluster, list[frozenset]]] = []
     for leaf in leaves:
         liftable = leaf.term_chunk.terms & refining_terms
@@ -126,10 +525,7 @@ def build_shared_chunks(
         )
 
     rows = [record for _leaf, records in per_leaf_sources for record in records]
-    if use_bitsets:
-        domains = _select_domains_bitset(rows, restricted_terms, k, m)
-    else:
-        domains = _select_domains_reference(rows, refining_terms, restricted_terms, k, m)
+    domains = _select_domains_reference(rows, refining_terms, restricted_terms, k, m)
 
     shared_chunks: list[SharedChunk] = []
     placed: set = set()
@@ -185,55 +581,8 @@ def _select_domains_reference(
     return domains
 
 
-def _select_domains_bitset(
-    rows: Sequence[frozenset],
-    restricted_terms: frozenset,
-    k: int,
-    m: int,
-) -> list[frozenset]:
-    """Bitset greedy domain selection (same decisions as the reference).
-
-    Terms are represented as bitmasks over the joint rows, so a candidate's
-    k^m check enumerates only the occurring combinations that involve it
-    (AND + popcount each).  The Property-1 k-anonymity check, needed only
-    when the candidate domain touches ``restricted_terms``, recounts the
-    multiset of row projections maintained incrementally on acceptance.
-    """
-    masks = EncodedCluster(rows).masks
-    supports = {term: mask.bit_count() for term, mask in masks.items()}
-
-    remaining = sorted(supports, key=lambda t: (-supports[t], t))
-
-    domains: list[frozenset] = []
-    while remaining:
-        checker = BitsetChunkChecker(masks, k, m)
-        # per-row projection onto the accepted terms (for the k-anonymity check)
-        row_projections: list[set] = [set() for _ in rows]
-        accepted: list[str] = []
-        skipped: list[str] = []
-        touches_restricted = False
-        for term in remaining:
-            ok = checker.would_remain_anonymous(term)
-            if ok and (touches_restricted or term in restricted_terms):
-                ok = _candidate_is_k_anonymous(row_projections, masks[term], term, k)
-            if not ok:
-                skipped.append(term)
-                continue
-            accepted.append(term)
-            checker.add(term)
-            if term in restricted_terms:
-                touches_restricted = True
-            for row_index in iter_mask_bits(masks[term]):
-                row_projections[row_index].add(term)
-        if not accepted:
-            break
-        domains.append(frozenset(accepted))
-        remaining = skipped
-    return domains
-
-
 def _candidate_is_k_anonymous(
-    row_projections: Sequence[set], term_mask: int, term: str, k: int
+    row_projections: Sequence[set], term_mask: int, term, k: int
 ) -> bool:
     """k-anonymity of the row projections if ``term`` were accepted.
 
@@ -300,6 +649,11 @@ def try_merge(
     max_join_size: Optional[int] = None,
     excluded_terms: frozenset = frozenset(),
     use_bitsets: bool = True,
+    support_cache: Optional[dict] = None,
+    _refining_candidates: Optional[frozenset] = None,
+    _leaves: Optional[list] = None,
+    _restricted_parts: Optional[tuple] = None,
+    _pair_masks: Optional[tuple] = None,
 ) -> MergeOutcome:
     """Attempt to merge two clusters into a joint cluster.
 
@@ -313,46 +667,93 @@ def try_merge(
     size while adding little utility (Equation 1's left-hand side shrinks as
     the joint grows).  ``excluded_terms`` are never lifted (used for
     sensitive terms, which must stay in term chunks for l-diversity).
+    ``support_cache`` optionally shares per-cluster liftable supports
+    across attempts (the driver passes one per refine call).
     """
     if max_join_size is not None and cluster_size(left) + cluster_size(right) > max_join_size:
         return MergeOutcome(None, reason="joint cluster would exceed max_join_size")
-    refining_candidates = (
-        virtual_term_chunk(left) & virtual_term_chunk(right)
-    ) - excluded_terms
+    # `_refining_candidates` lets the driver hand over the intersection it
+    # already computed from its per-cluster virtual-term-chunk cache.
+    refining_candidates = _refining_candidates
+    if refining_candidates is None:
+        refining_candidates = (
+            virtual_term_chunk(left) & virtual_term_chunk(right)
+        ) - excluded_terms
     if not refining_candidates:
         return MergeOutcome(None, reason="no common term-chunk terms")
 
-    leaves = _leaves_with_originals(left) + _leaves_with_originals(right)
-    restricted = left.record_chunk_terms() | right.record_chunk_terms()
-
-    # Build the shared chunks, holding back terms whose lifting would leave a
-    # leaf with an empty term chunk it cannot afford (Lemma 2).  The paper's
-    # fallback applies: at least one term always remains available to
-    # repopulate the term chunk, so the loop terminates.
-    shared_chunks: list[SharedChunk] = []
-    placed: frozenset = frozenset()
-    while refining_candidates:
-        shared_chunks, placed = build_shared_chunks(
-            leaves, refining_candidates, restricted, k, m, use_bitsets=use_bitsets
-        )
-        if not shared_chunks or not placed:
-            return MergeOutcome(None, reason="no k^m-anonymous shared chunk could be built")
-        at_risk = _leaves_needing_a_term(leaves, placed, k, m)
-        if not at_risk:
-            break
-        held_back = _hold_back_terms(at_risk, placed)
-        refining_candidates = refining_candidates - held_back
-    else:
-        return MergeOutcome(None, reason="every refining term is needed by a leaf's term chunk")
-
     joint_size = cluster_size(left) + cluster_size(right)
-    if not merge_criterion(shared_chunks, placed, leaves, joint_size):
-        return MergeOutcome(None, reason="Equation-1 criterion rejected the merge")
+    leaves = _leaves if _leaves is not None else (
+        _leaves_with_originals(left) + _leaves_with_originals(right)
+    )
+
+    if use_bitsets:
+        # Eligibility first: a refining term's joint support is the sum of
+        # the members' liftable supports, so terms that cannot reach k --
+        # and pairs with no eligible term at all -- are rejected from two
+        # cached dicts before any joint mask is assembled.
+        supports_left = _liftable_supports(left, support_cache)
+        supports_right = _liftable_supports(right, support_cache)
+        eligible_supports: dict = {}
+        get_left = supports_left.get
+        get_right = supports_right.get
+        for term in refining_candidates:
+            support = get_left(term, 0) + get_right(term, 0)
+            if support >= k:
+                eligible_supports[term] = support
+        if not eligible_supports:
+            return MergeOutcome(
+                None, reason="no k^m-anonymous shared chunk could be built"
+            )
+        eligible = frozenset(eligible_supports)
+        restricted = (
+            _restricted_parts[0] | _restricted_parts[1]
+            if _restricted_parts is not None
+            else left.record_chunk_terms() | right.record_chunk_terms()
+        )
+        if _pair_masks is not None:
+            # Cluster-level masks from the driver: the pair's joint masks
+            # are two dict probes and a shift per eligible term, and the
+            # eligibility sums double as the selection supports.
+            (masks_left, rows_left), (masks_right, rows_right) = _pair_masks
+            pair_masks = {
+                term: masks_left.get(term, 0)
+                | (masks_right.get(term, 0) << rows_left)
+                for term in eligible_supports
+            }
+            num_rows = rows_left + rows_right
+        else:
+            pair_masks = None
+            num_rows = None
+        # Domains are selected first and the Equation-1 criterion is
+        # evaluated straight from the joint-support popcounts; the shared
+        # chunks are materialized only for accepted merges (rejected
+        # attempts never pay for sub-record assembly).
+        domains, placed, supports, failure = _select_chunks_bitset(
+            leaves, eligible, restricted, k, m,
+            masks=pair_masks, num_rows=num_rows,
+            supports=eligible_supports if pair_masks is not None else None,
+        )
+        if failure:
+            return MergeOutcome(None, reason=failure)
+        if not _criterion_from_supports(supports, placed, leaves, joint_size):
+            return MergeOutcome(None, reason="Equation-1 criterion rejected the merge")
+        shared_chunks, placed = _JointMaskBuilder(leaves).build_chunks(domains)
+    else:
+        restricted = left.record_chunk_terms() | right.record_chunk_terms()
+        shared_chunks, placed, failure = _build_chunks_reference(
+            leaves, refining_candidates, restricted, k, m
+        )
+        if failure:
+            return MergeOutcome(None, reason=failure)
+        if not merge_criterion(shared_chunks, placed, leaves, joint_size):
+            return MergeOutcome(None, reason="Equation-1 criterion rejected the merge")
 
     # The lifted terms leave the member term chunks.
     for leaf in leaves:
-        remaining_terms = leaf.term_chunk.terms - placed
-        leaf.term_chunk = TermChunk(remaining_terms)
+        terms = leaf.term_chunk.terms
+        if terms & placed:
+            leaf.term_chunk = TermChunk(terms - placed)
 
     joint = JointCluster(
         children=[left, right],
@@ -360,6 +761,134 @@ def try_merge(
         label=f"J[{left.label}+{right.label}]",
     )
     return MergeOutcome(joint, refining_terms=placed)
+
+
+def _select_chunks_bitset(
+    leaves: Sequence[SimpleCluster],
+    refining_candidates: frozenset,
+    restricted: frozenset,
+    k: int,
+    m: int,
+    masks: Optional[dict] = None,
+    num_rows: Optional[int] = None,
+    supports: Optional[dict] = None,
+) -> tuple[list[frozenset], frozenset, dict, str]:
+    """Shared-chunk domain selection with the Lemma-2 hold-back loop (bitsets).
+
+    Terms whose lifting would leave a leaf with an empty term chunk it
+    cannot afford (Lemma 2) are held back and the selection repeats; the
+    paper's fallback applies, so the loop terminates.  When the previous
+    selection accepted *every* eligible candidate into a single domain, a
+    re-selection over the shrunken candidate set provably accepts exactly
+    the previous domain minus the held-back terms (k^m-anonymity is
+    monotone under a smaller accepted set, and sub-record k-anonymity is
+    preserved under projection onto fewer terms) -- so the domain is
+    shrunk in place via :meth:`BitsetChunkChecker.remove` instead of
+    re-running the greedy selection.
+
+    ``masks`` / ``num_rows`` / ``supports`` may be handed in prebuilt (the
+    driver derives them from its per-cluster caches); otherwise they are
+    assembled from the leaves once.  The masks are never rebuilt across
+    hold-back iterations: liftability cannot change mid-attempt, so a
+    shrunken candidate set only restricts which keys the selection reads.
+
+    Returns ``(domains, placed, supports, failure_reason)``; the caller
+    materializes the chunks only when the merge is actually accepted.
+    """
+    if masks is None:
+        builder = _JointMaskBuilder(leaves)
+        masks = builder.joint_masks(refining_candidates)
+        num_rows = builder.num_rows
+        supports = {term: mask.bit_count() for term, mask in masks.items()}
+    domains: list[frozenset] = []
+    checker: Optional[BitsetChunkChecker] = None
+    single_round = False
+    have_selection = False
+    round_supports = supports
+    while refining_candidates:
+        if have_selection and single_round and checker is not None:
+            accepted = checker.accepted_terms
+            domains = [accepted] if accepted else []
+        else:
+            if have_selection:  # hold-back re-selection over fewer terms
+                round_supports = {
+                    term: supports[term]
+                    for term in refining_candidates
+                    if term in supports
+                }
+            domains, checker, single_round = _select_domains_from_masks(
+                masks, num_rows, round_supports, restricted, k, m
+            )
+            have_selection = True
+        placed = frozenset().union(*domains) if domains else frozenset()
+        if not placed:
+            return [], frozenset(), supports, (
+                "no k^m-anonymous shared chunk could be built"
+            )
+        at_risk = _leaves_needing_a_term(leaves, placed, k, m)
+        if not at_risk:
+            return domains, placed, supports, ""
+        held_back = _hold_back_terms(at_risk, placed)
+        refining_candidates = refining_candidates - held_back
+        if single_round and checker is not None:
+            for term in held_back:
+                checker.remove(term)
+    return [], frozenset(), supports, (
+        "every refining term is needed by a leaf's term chunk"
+    )
+
+
+def _criterion_from_supports(
+    supports: dict,
+    placed: frozenset,
+    leaves: Sequence[SimpleCluster],
+    joint_size: int,
+) -> bool:
+    """Equation 1 evaluated from the joint-support popcounts.
+
+    A placed term's support inside its shared chunk equals its joint mask's
+    popcount (the chunk's sub-records are exactly the rows whose projection
+    is non-empty), so the left-hand side of :func:`merge_criterion` is the
+    sum of the placed supports -- no chunk materialization needed.
+    """
+    if joint_size == 0 or not placed:
+        return False
+    lhs = sum(supports.get(term, 0) for term in placed) / joint_size
+
+    rhs_numerator = 0
+    rhs_denominator = 0
+    for leaf in leaves:
+        present = leaf.term_chunk.terms & placed
+        if present:
+            rhs_numerator += len(present)
+            rhs_denominator += leaf.size
+    if rhs_denominator == 0:
+        return False
+    return lhs >= rhs_numerator / rhs_denominator
+
+
+def _build_chunks_reference(
+    leaves: Sequence[SimpleCluster],
+    refining_candidates: frozenset,
+    restricted: frozenset,
+    k: int,
+    m: int,
+) -> tuple[list[SharedChunk], frozenset, str]:
+    """Reference shared-chunk construction with the Lemma-2 hold-back loop."""
+    shared_chunks: list[SharedChunk] = []
+    placed: frozenset = frozenset()
+    while refining_candidates:
+        shared_chunks, placed = build_shared_chunks(
+            leaves, refining_candidates, restricted, k, m, use_bitsets=False
+        )
+        if not shared_chunks or not placed:
+            return [], frozenset(), "no k^m-anonymous shared chunk could be built"
+        at_risk = _leaves_needing_a_term(leaves, placed, k, m)
+        if not at_risk:
+            return shared_chunks, placed, ""
+        held_back = _hold_back_terms(at_risk, placed)
+        refining_candidates = refining_candidates - held_back
+    return [], frozenset(), "every refining term is needed by a leaf's term chunk"
 
 
 def _leaves_needing_a_term(
@@ -411,9 +940,311 @@ def _hold_back_terms(at_risk: Sequence[SimpleCluster], placed: frozenset) -> fro
 def _ordering_key(cluster: Cluster, tcs: Counter) -> tuple:
     """Ordering key for REFINE: the (virtual) term chunk rendered as a tuple of
     terms sorted by descending term-chunk support, compared lexicographically."""
-    terms = sorted(virtual_term_chunk(cluster), key=lambda t: (-tcs[t], t))
+    return _ordering_key_for_terms(virtual_term_chunk(cluster), tcs)
+
+
+def _ordering_key_for_terms(terms: frozenset, tcs: Counter) -> tuple:
+    ordered = sorted(terms, key=lambda t: (-tcs[t], t))
     # Clusters with empty term chunks sort last: they have nothing to refine.
-    return (len(terms) == 0, tuple(terms))
+    return (len(ordered) == 0, tuple(ordered))
+
+
+def _ordering_key_ranked(terms: frozenset, rank: dict) -> tuple:
+    """Same key as :func:`_ordering_key_for_terms`, via a global rank table.
+
+    ``rank`` orders every term by ``(-tcs[term], term)`` once per pass, so
+    each cluster's terms sort on a single C-level int lookup instead of a
+    tuple-building lambda; the produced key still holds the string terms,
+    so cross-cluster comparisons are unchanged.
+    """
+    ordered = sorted(terms, key=rank.__getitem__)
+    return (len(ordered) == 0, tuple(ordered))
+
+
+def _prefilter(
+    left: Cluster,
+    right: Cluster,
+    vtc_left: frozenset,
+    vtc_right: frozenset,
+    max_join_size: Optional[int],
+    excluded_terms: frozenset,
+) -> tuple[Optional[str], frozenset]:
+    """Cheap rejection checks mirroring ``try_merge``'s first two gates.
+
+    Returns ``(reason, refining_candidates)`` -- the single source of
+    truth for both the sequential walk and the speculative dispatch, so
+    the two skip-sets can never desynchronize.
+    """
+    candidates = (vtc_left & vtc_right) - excluded_terms
+    if not candidates:
+        return "no common term-chunk terms", candidates
+    if max_join_size is not None and left.size + right.size > max_join_size:
+        return "joint cluster would exceed max_join_size", candidates
+    return None, candidates
+
+
+def _pair_worker(payload):
+    """Process-pool task: evaluate one speculative merge attempt.
+
+    The pair travels as pickled cluster trees; only a compact outcome comes
+    back (``None`` for a rejection, otherwise the placed terms plus the
+    shared-chunk contents), and the parent re-applies the merge to its own
+    objects.  The worker's mutations only touch its private copies.
+    """
+    left, right, k, m, max_join_size, excluded_terms, use_bitsets, candidates = payload
+    outcome = try_merge(
+        left,
+        right,
+        k,
+        m,
+        max_join_size=max_join_size,
+        excluded_terms=excluded_terms,
+        use_bitsets=use_bitsets,
+        _refining_candidates=candidates,
+    )
+    if outcome.joint is None:
+        return None
+    return (
+        outcome.refining_terms,
+        [
+            (chunk.domain, chunk.subrecords, chunk.contributions)
+            for chunk in outcome.joint.shared_chunks
+        ],
+    )
+
+
+def _apply_merge(left: Cluster, right: Cluster, placed: frozenset, chunk_payload) -> JointCluster:
+    """Apply a worker-evaluated merge to the parent's own cluster objects.
+
+    Mirrors the tail of :func:`try_merge`: lift the placed terms out of
+    every leaf term chunk and wrap the pair in a joint cluster carrying the
+    shared chunks the worker built.
+    """
+    for leaf in left.leaves() + right.leaves():
+        terms = leaf.term_chunk.terms
+        if terms & placed:
+            leaf.term_chunk = TermChunk(terms - placed)
+    shared = [
+        SharedChunk(domain, subrecords, contributions)
+        for domain, subrecords, contributions in chunk_payload
+    ]
+    return JointCluster(
+        children=[left, right],
+        shared_chunks=shared,
+        label=f"J[{left.label}+{right.label}]",
+    )
+
+
+def _speculative_outcomes(
+    ordered: Sequence[Cluster],
+    vtcs: dict,
+    memo: MergeMemo,
+    k: int,
+    m: int,
+    max_join_size: Optional[int],
+    excluded_terms: frozenset,
+    use_bitsets: bool,
+    pool,
+    stats: RefineStats,
+) -> Optional[dict]:
+    """Evaluate every non-skippable adjacent pair of a pass over the pool.
+
+    Attempts are read-only and adjacent pairs share no leaves, so outcomes
+    computed against the pre-pass state stay valid wherever the sequential
+    replay consumes them.  Returns ``{pair_index: worker_result}`` or
+    ``None`` when the pool is unusable (callers fall back to serial).
+    """
+    indices: list[int] = []
+    payloads: list[tuple] = []
+    for index in range(len(ordered) - 1):
+        left, right = ordered[index], ordered[index + 1]
+        if memo.is_rejected(left, right, vtcs):
+            continue
+        reason, candidates = _prefilter(
+            left, right, vtcs[id(left)], vtcs[id(right)], max_join_size, excluded_terms
+        )
+        if reason:
+            continue
+        indices.append(index)
+        payloads.append(
+            (left, right, k, m, max_join_size, excluded_terms, use_bitsets, candidates)
+        )
+    if not payloads:
+        return {}
+    stats.merges_attempted += len(payloads)
+    try:
+        # chunksize MUST stay 1: overlapping pairs share a cluster, and
+        # pickling several payloads as one chunk would dedupe that shared
+        # object in the worker -- a successful speculative merge for pair
+        # (i, i+1) would then mutate the copy pair (i+1, i+2) is about to
+        # read.  One payload per task gives every attempt isolated copies.
+        results = list(pool.map(_pair_worker, payloads, chunksize=1))
+    except (OSError, RuntimeError):  # pragma: no cover - no subprocess support
+        return None
+    return dict(zip(indices, results))
+
+
+class _DriverState:
+    """Per-refine-call caches over the surviving top-level clusters.
+
+    Everything here is immutable for a surviving cluster (only successful
+    merges mutate state, and they consume both members), keyed by object
+    identity -- the result tree keeps every input cluster alive, so ids are
+    stable for the duration of the call.  When a merge is applied, the
+    joint's entries derive from its members in O(|terms|) instead of
+    re-walking its leaves.
+    """
+
+    __slots__ = ("vtcs", "keys", "supports", "leaves", "restricted", "masks")
+
+    def __init__(self):
+        self.vtcs: dict = {}        # id -> virtual term chunk
+        self.keys: dict = {}        # id -> ordering key
+        self.supports: dict = {}    # id -> liftable supports (term -> count)
+        self.leaves: dict = {}      # id -> validated leaf list
+        self.restricted: dict = {}  # id -> record/shared-chunk terms
+        self.masks: dict = {}       # id -> (liftable masks over own rows, num_rows)
+
+    def seed(self, cluster: Cluster) -> None:
+        """Fill the walk-derived entries for a not-yet-seen cluster."""
+        cid = id(cluster)
+        if cid not in self.vtcs:
+            self.vtcs[cid] = virtual_term_chunk(cluster)
+        if cid not in self.leaves:
+            self.leaves[cid] = _leaves_with_originals(cluster)
+        if cid not in self.restricted:
+            self.restricted[cid] = cluster.record_chunk_terms()
+        if cid not in self.masks:
+            builder = _JointMaskBuilder(self.leaves[cid])
+            self.masks[cid] = (
+                builder.joint_masks(self.vtcs[cid]),
+                builder.num_rows,
+            )
+
+    def register_joint(
+        self, joint: JointCluster, left: Cluster, right: Cluster, placed: frozenset
+    ) -> None:
+        """Derive the joint's entries from its members (no leaf walks).
+
+        The joint's leaves are the members' concatenated; its virtual term
+        chunk is the members' union minus the lifted terms; its restricted
+        set gains exactly the new shared-chunk domains (the placed terms);
+        its liftable supports are the members' sums minus the placed terms
+        (leaf masks are fixed, and the placed terms left every term chunk).
+        """
+        lid, rid = id(left), id(right)
+        jid = id(joint)
+        self.leaves[jid] = self.leaves[lid] + self.leaves[rid]
+        self.vtcs[jid] = (self.vtcs[lid] | self.vtcs[rid]) - placed
+        self.restricted[jid] = self.restricted[lid] | self.restricted[rid] | placed
+        masks_left, rows_left = self.masks[lid]
+        masks_right, rows_right = self.masks[rid]
+        combined: dict = {}
+        for term, mask in masks_left.items():
+            if term not in placed:
+                combined[term] = mask
+        for term, mask in masks_right.items():
+            if term not in placed:
+                combined[term] = combined.get(term, 0) | (mask << rows_left)
+        self.masks[jid] = (combined, rows_left + rows_right)
+        # _liftable_supports fills a member's entry on the fly if the merge
+        # came from a speculative worker (the parent never ran try_merge);
+        # computed post-mutation it already excludes the placed terms, so
+        # the removal below is simply a no-op in that case.
+        joint_supports = dict(_liftable_supports(left, self.supports))
+        get = joint_supports.get
+        for term, support in _liftable_supports(right, self.supports).items():
+            joint_supports[term] = get(term, 0) + support
+        for term in placed:
+            joint_supports.pop(term, None)
+        self.supports[jid] = joint_supports
+
+
+def _merge_pass(
+    ordered: Sequence[Cluster],
+    state: _DriverState,
+    memo: MergeMemo,
+    outcomes: Optional[dict],
+    k: int,
+    m: int,
+    max_join_size: Optional[int],
+    excluded_terms: frozenset,
+    use_bitsets: bool,
+    stats: RefineStats,
+) -> tuple[list[Cluster], bool, set]:
+    """One greedy adjacent-pair walk, consuming speculative outcomes if any.
+
+    Returns ``(merged, changed, changed_terms)``; ``changed_terms`` are the
+    terms whose global term-chunk support moved this pass (the shared terms
+    of every applied pair), which is exactly the invalidation set for the
+    cross-pass ordering-key cache.
+    """
+    vtcs = state.vtcs
+    merged: list[Cluster] = []
+    changed = False
+    changed_terms: set = set()
+    index = 0
+    last = len(ordered) - 1
+    while index < len(ordered):
+        if index < last:
+            left, right = ordered[index], ordered[index + 1]
+            stats.pairs_considered += 1
+            joint: Optional[JointCluster] = None
+            placed: frozenset = frozenset()
+            if memo.is_rejected(left, right, vtcs):
+                stats.skipped_by_memo += 1
+            else:
+                reason, candidates = _prefilter(
+                    left, right, vtcs[id(left)], vtcs[id(right)],
+                    max_join_size, excluded_terms,
+                )
+                if reason is not None:
+                    stats.prefiltered += 1
+                    memo.record_rejection(left, right, vtcs)
+                elif outcomes is not None and index in outcomes:
+                    result = outcomes[index]
+                    if result is None:
+                        memo.record_rejection(left, right, vtcs)
+                    else:
+                        placed, chunk_payload = result
+                        joint = _apply_merge(left, right, placed, chunk_payload)
+                else:
+                    stats.merges_attempted += 1
+                    outcome = try_merge(
+                        left,
+                        right,
+                        k,
+                        m,
+                        max_join_size=max_join_size,
+                        excluded_terms=excluded_terms,
+                        use_bitsets=use_bitsets,
+                        support_cache=state.supports,
+                        _refining_candidates=candidates,
+                        _leaves=state.leaves[id(left)] + state.leaves[id(right)],
+                        _restricted_parts=(
+                            state.restricted[id(left)],
+                            state.restricted[id(right)],
+                        ),
+                        _pair_masks=(state.masks[id(left)], state.masks[id(right)]),
+                    )
+                    if outcome.joint is not None:
+                        joint = outcome.joint
+                        placed = outcome.refining_terms
+                    else:
+                        memo.record_rejection(left, right, vtcs)
+            if joint is not None:
+                # Global supports only move for terms both members shared
+                # (lifted terms drop out, duplicated counts collapse).
+                changed_terms |= vtcs[id(left)] & vtcs[id(right)]
+                state.register_joint(joint, left, right, placed)
+                merged.append(joint)
+                stats.merges_applied += 1
+                changed = True
+                index += 2
+                continue
+        merged.append(ordered[index])
+        index += 1
+    return merged, changed, changed_terms
 
 
 def refine(
@@ -424,6 +1255,10 @@ def refine(
     max_join_size: Optional[int] = 240,
     excluded_terms: frozenset = frozenset(),
     use_bitsets: bool = True,
+    memoize: bool = True,
+    jobs: int = 1,
+    executor=None,
+    stats: Optional[RefineStats] = None,
 ) -> list[Cluster]:
     """Algorithm REFINE: iteratively merge adjacent cluster pairs.
 
@@ -440,12 +1275,114 @@ def refine(
         use_bitsets: run shared-chunk selection over term bitmasks (default;
             identical output, far fewer record scans).  ``False`` selects
             the reference implementation, kept for equivalence testing.
+        memoize: run the incremental driver (rejected-pair memo, shared
+            per-leaf mask cache, optional parallel attempts).  ``False``
+            selects the reference driver, which re-attempts every adjacent
+            pair from scratch each pass -- kept as the equivalence oracle.
+        jobs: fan merge attempts out over this many worker processes (the
+            effective value is capped at ``os.cpu_count()``; ``1`` stays
+            in-process and never spawns a pool).
+        executor: optionally, an already-running ``ProcessPoolExecutor`` to
+            reuse (takes precedence over ``jobs``; not shut down here).
+        stats: optional :class:`RefineStats` filled with the run's counters.
 
     Returns:
         The refined list of clusters (joint clusters replace merged pairs).
     """
     validate_km_parameters(k, m)
     excluded_terms = frozenset(str(t) for t in excluded_terms)
+    if stats is None:
+        stats = RefineStats()
+    if not memoize:
+        return _refine_reference(
+            clusters, k, m, max_passes, max_join_size, excluded_terms, use_bitsets
+        )
+
+    current: list[Cluster] = list(clusters)
+    memo = MergeMemo()
+    # Per-cluster caches surviving across passes.  A surviving top-level
+    # cluster is never mutated (only successful merges touch leaf term
+    # chunks, and they consume both members), so its virtual term chunk,
+    # leaves, restricted terms and liftable supports are stable; its
+    # *ordering key* additionally depends on the global term-chunk
+    # supports, which only move for the terms shared by merged pairs --
+    # keys are recomputed exactly for clusters touching those.
+    state = _DriverState()
+    vtcs = state.vtcs
+    key_cache = state.keys
+    changed_terms: Optional[set] = None  # None = first pass, compute all
+    pool = executor
+    created_pool = None
+    if pool is None and jobs > 1:
+        workers = effective_jobs(jobs)
+        if workers > 1:
+            try:
+                created_pool = ProcessPoolExecutor(max_workers=workers)
+                pool = created_pool
+            except (OSError, RuntimeError):  # pragma: no cover - no subprocess support
+                pool = None
+    try:
+        for _pass in range(max_passes):
+            if len(current) < 2:
+                break
+            stats.passes += 1
+            for cluster in current:
+                if id(cluster) not in vtcs:
+                    state.seed(cluster)
+            tcs: Counter = Counter()
+            for cluster in current:
+                tcs.update(vtcs[id(cluster)])
+            rank = {
+                term: position
+                for position, term in enumerate(
+                    sorted(tcs, key=lambda t: (-tcs[t], t))
+                )
+            }
+            for cluster in current:
+                cid = id(cluster)
+                if (
+                    cid not in key_cache
+                    or changed_terms is None
+                    or vtcs[cid] & changed_terms
+                ):
+                    key_cache[cid] = _ordering_key_ranked(vtcs[cid], rank)
+            ordered = sorted(current, key=lambda c: key_cache[id(c)])
+
+            outcomes = None
+            if pool is not None and len(ordered) > 2:
+                outcomes = _speculative_outcomes(
+                    ordered, vtcs, memo, k, m, max_join_size, excluded_terms,
+                    use_bitsets, pool, stats,
+                )
+                if outcomes is None:
+                    pool = None  # broken pool: serial for the rest of the call
+            current, changed, changed_terms = _merge_pass(
+                ordered, state, memo, outcomes, k, m, max_join_size,
+                excluded_terms, use_bitsets, stats,
+            )
+            if not changed:
+                break
+    finally:
+        if created_pool is not None:
+            created_pool.shutdown()
+    return current
+
+
+def _refine_reference(
+    clusters: Sequence[Cluster],
+    k: int,
+    m: int,
+    max_passes: int,
+    max_join_size: Optional[int],
+    excluded_terms: frozenset,
+    use_bitsets: bool,
+) -> list[Cluster]:
+    """The reference REFINE driver: every pass re-attempts every adjacent pair.
+
+    No memoization, no mask cache, no pool -- the pre-optimization
+    formulation, preserved verbatim as the oracle the incremental driver is
+    tested against.
+    """
     current: list[Cluster] = list(clusters)
     for _pass in range(max_passes):
         if len(current) < 2:

@@ -25,6 +25,7 @@ from typing import Optional
 from repro.core.anonymity import (
     find_km_violation,
     is_k_anonymous,
+    is_km_anonymous,
     validate_km_parameters,
 )
 from repro.core.clusters import (
@@ -66,13 +67,22 @@ class AuditReport:
         )
 
 
+def _audit_chunk(label: str, subrecords, k: int, m: int, report: AuditReport) -> None:
+    # Fast accept via the short-circuiting bitset check; the exhaustive
+    # Counter-based search runs only when a violation exists, to report the
+    # worst offending itemset for diagnostics.
+    if is_km_anonymous(subrecords, k, m):
+        return
+    violation = find_km_violation(subrecords, k, m)
+    if violation is not None:
+        itemset, support = violation
+        report.ok = False
+        report.chunk_violations.append((label, itemset, support))
+
+
 def _audit_simple_cluster(cluster: SimpleCluster, k: int, m: int, report: AuditReport) -> None:
     for chunk in cluster.record_chunks:
-        violation = find_km_violation(chunk.subrecords, k, m)
-        if violation is not None:
-            itemset, support = violation
-            report.ok = False
-            report.chunk_violations.append((cluster.label, itemset, support))
+        _audit_chunk(cluster.label, chunk.subrecords, k, m, report)
     if not satisfies_lemma2(cluster, k, m):
         report.ok = False
         report.lemma2_violations.append(cluster.label)
@@ -85,11 +95,7 @@ def _audit_joint_cluster(cluster: JointCluster, k: int, m: int, report: AuditRep
     for child in cluster.children:
         restricted.update(child.record_chunk_terms())
     for chunk in cluster.shared_chunks:
-        violation = find_km_violation(chunk.subrecords, k, m)
-        if violation is not None:
-            itemset, support = violation
-            report.ok = False
-            report.chunk_violations.append((cluster.label, itemset, support))
+        _audit_chunk(cluster.label, chunk.subrecords, k, m, report)
         if chunk.domain & restricted and not is_k_anonymous(chunk.subrecords, k):
             report.ok = False
             report.property1_violations.append(cluster.label)

@@ -26,15 +26,16 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.anonymity import (
     BitsetChunkChecker,
     IncrementalChunkChecker,
     validate_km_parameters,
 )
-from repro.core.clusters import RecordChunk, SimpleCluster, TermChunk
+from repro.core.clusters import RecordChunk, SimpleCluster, TermChunk, _as_record
 from repro.core.dataset import TransactionDataset
-from repro.core.vocab import EncodedCluster
+from repro.core.vocab import EncodedCluster, register_cluster_masks
 
 
 @dataclass
@@ -132,6 +133,7 @@ def partition_domains_fast(
     k: int,
     m: int,
     enforce_lemma2: bool = True,
+    view: Optional[EncodedCluster] = None,
 ) -> tuple[list[frozenset], set, set]:
     """Bitset VERPART domain selection: the compute kernel of the phase.
 
@@ -148,7 +150,8 @@ def partition_domains_fast(
     Returns:
         ``(chunk_domains, term_chunk_terms, demoted_terms)``.
     """
-    view = EncodedCluster(record_list)
+    if view is None:
+        view = EncodedCluster(record_list)
     masks = view.masks
     supports = {term: mask.bit_count() for term, mask in masks.items()}
 
@@ -160,7 +163,7 @@ def partition_domains_fast(
 
     chunk_domains: list[frozenset] = []
     while remaining:
-        checker = BitsetChunkChecker(masks, k, m)
+        checker = BitsetChunkChecker(masks, k, m, share_masks=True)
         accepted: list[str] = []
         skipped: list[str] = []
         for term in remaining:
@@ -221,13 +224,19 @@ def vertical_partition_fast(
         enforce_lemma2: when ``True`` (default) enforce the Lemma-2 bound.
     """
     validate_km_parameters(k, m)
-    record_list = [frozenset(str(t) for t in r) for r in records]
+    record_list = [_as_record(r) for r in records]
+    view = EncodedCluster(record_list)
     chunk_domains, term_chunk_terms, demoted = partition_domains_fast(
-        record_list, k, m, enforce_lemma2=enforce_lemma2
+        record_list, k, m, enforce_lemma2=enforce_lemma2, view=view
     )
-    return build_cluster_from_domains(
+    result = build_cluster_from_domains(
         record_list, chunk_domains, term_chunk_terms, demoted, label
     )
+    # Hand the term bitmasks this phase already built to downstream
+    # consumers (REFINE's shared-chunk builder) through the weak per-cluster
+    # cache, so the leaf is never re-encoded.
+    register_cluster_masks(result.cluster, view.masks, len(record_list))
+    return result
 
 
 def _project_chunk(records: Sequence[frozenset], domain: frozenset) -> RecordChunk:

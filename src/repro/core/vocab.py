@@ -21,6 +21,7 @@ serialized format unchanged.
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter
 from collections.abc import Iterable, Sequence
 from typing import Optional
@@ -104,10 +105,30 @@ class EncodedDataset:
 
     @classmethod
     def from_dataset(cls, dataset: TransactionDataset) -> "EncodedDataset":
-        """Encode a :class:`TransactionDataset` (or any record sequence)."""
+        """Encode a :class:`TransactionDataset` (or any record sequence).
+
+        The interning loop is inlined (one dict probe per already-seen term
+        instead of a method call + ``str`` coercion): encoding sits on the
+        pipeline's hot boundary and runs once per input record.
+        """
         vocab = Vocabulary()
-        intern = vocab.intern
-        records = [frozenset(intern(t) for t in record) for record in dataset]
+        ids = vocab._ids
+        terms = vocab._terms
+        records = []
+        append = records.append
+        for record in dataset:
+            encoded = []
+            for term in record:
+                tid = ids.get(term)
+                if tid is None:
+                    term = str(term)
+                    tid = ids.get(term)
+                    if tid is None:
+                        tid = len(terms)
+                        ids[term] = tid
+                        terms.append(term)
+                encoded.append(tid)
+            append(frozenset(encoded))
         return cls(vocab, records)
 
     def __len__(self) -> int:
@@ -239,3 +260,42 @@ def iter_mask_bits(mask: int):
         low = mask & -mask
         yield low.bit_length() - 1
         mask ^= low
+
+
+#: Per-cluster term-mask cache: cluster object -> (masks, num_rows).  Weak
+#: keys tie each entry's lifetime to its cluster, so REFINE re-uses the
+#: bitmasks VERPART already built for a leaf (and streaming windows inherit
+#: warm caches engine-wide) without any explicit invalidation: a cluster's
+#: original records never change after construction.
+_CLUSTER_MASKS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def register_cluster_masks(cluster, masks: dict, num_rows: int) -> None:
+    """Attach already-built term masks to a cluster object (weakly keyed)."""
+    _CLUSTER_MASKS[cluster] = (masks, num_rows)
+
+
+def cluster_masks(cluster) -> tuple[dict, int]:
+    """The cluster's term masks over its original records, built once.
+
+    ``cluster.original_records`` is only read on a cache miss (the property
+    copies the record list, so a hit must not touch it).
+    """
+    entry = _CLUSTER_MASKS.get(cluster)
+    if entry is None:
+        rows = cluster.original_records or []
+        entry = (EncodedCluster(rows).masks, len(rows))
+        _CLUSTER_MASKS[cluster] = entry
+    return entry
+
+
+def discard_cluster_masks(cluster) -> None:
+    """Drop the cached term masks for ``cluster`` (no-op when absent).
+
+    The masks are only read between VERPART (which registers them) and the
+    end of REFINE; publishing keeps the cluster objects alive, so without
+    an explicit release the masks would stay resident for the lifetime of
+    the published dataset -- the engine discards them once the refine
+    phase is over.
+    """
+    _CLUSTER_MASKS.pop(cluster, None)

@@ -314,23 +314,27 @@ class ShardedPipeline:
         report.shard_seconds = time.perf_counter() - start
 
         # anonymize: windows of at most `bound` records per shard, through
-        # the standard engine (encoded backend, jobs fan-out).
+        # the standard engine (encoded backend, jobs fan-out).  One engine
+        # serves every window with `keep_pool`, so later windows inherit the
+        # already-spawned worker pool instead of paying process startup per
+        # window; per-window state (mask caches, merge memos) is scoped to
+        # each `anonymize` call by construction.
         start = time.perf_counter()
         window_params = replace(self.params, verify=False)
         clusters: list[Cluster] = []
         report.shard_windows = [0] * self.stream.shards
-        for shard, path in enumerate(spiller.paths):
-            for window, batch in enumerate(iter_batches(iter_jsonl(path), bound)):
-                report.peak_resident_records = max(
-                    report.peak_resident_records, len(batch)
-                )
-                report.shard_windows[shard] += 1
-                engine = Disassociator(window_params)
-                published = engine.anonymize(TransactionDataset(batch))
-                prefix = f"S{shard}W{window}."
-                clusters.extend(
-                    relabel_cluster(cluster, prefix) for cluster in published.clusters
-                )
+        with Disassociator(window_params, keep_pool=True) as engine:
+            for shard, path in enumerate(spiller.paths):
+                for window, batch in enumerate(iter_batches(iter_jsonl(path), bound)):
+                    report.peak_resident_records = max(
+                        report.peak_resident_records, len(batch)
+                    )
+                    report.shard_windows[shard] += 1
+                    published = engine.anonymize(TransactionDataset(batch))
+                    prefix = f"S{shard}W{window}."
+                    clusters.extend(
+                        relabel_cluster(cluster, prefix) for cluster in published.clusters
+                    )
         report.anonymize_seconds = time.perf_counter() - start
 
         # merge: one publication; relabeling already made labels unique.
