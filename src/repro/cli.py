@@ -85,6 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the per-cluster VERPART fan-out (encoded backend)",
     )
     anonymize.add_argument(
+        "--kernels",
+        choices=["auto", "python", "numpy"],
+        default=None,
+        help="vectorized-kernel backend for the encoded core: 'numpy' "
+        "(vectorized counting/checking, needs numpy >= 2.0), 'python' "
+        "(pure-Python fallback) or 'auto' (numpy when importable). "
+        "Omitted: $REPRO_KERNELS, then auto. Identical output either way",
+    )
+    anonymize.add_argument(
         "--stream",
         action="store_true",
         help="sharded streaming mode: bounded-memory anonymization of files "
@@ -155,6 +164,7 @@ def _cmd_anonymize(args) -> int:
         refine=not args.no_refine,
         backend=args.backend,
         jobs=args.jobs,
+        kernels=args.kernels,
     )
     if args.stream:
         pipeline = ShardedPipeline(

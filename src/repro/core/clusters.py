@@ -90,6 +90,7 @@ class RecordChunk:
         return sum(1 for sr in self.subrecords if items <= sr)
 
     def to_dict(self) -> dict:
+        """JSON-ready payload (sorted domain and sub-records; stable output)."""
         return {
             "domain": sorted(self.domain),
             "subrecords": [sorted(sr) for sr in self.subrecords],
@@ -97,6 +98,7 @@ class RecordChunk:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RecordChunk":
+        """Rebuild a record chunk from its :meth:`to_dict` payload."""
         try:
             return cls(payload["domain"], payload["subrecords"])
         except (KeyError, TypeError) as exc:
@@ -141,6 +143,7 @@ class SharedChunk(RecordChunk):
         return chunk
 
     def to_dict(self) -> dict:
+        """JSON-ready payload; adds the ordered per-cluster contributions."""
         payload = super().to_dict()
         # Contributions are serialized as an ordered list of [label, count]
         # pairs: the order matters because the chunk's sub-record list is
@@ -152,6 +155,7 @@ class SharedChunk(RecordChunk):
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SharedChunk":
+        """Rebuild a shared chunk (and its contributions) from :meth:`to_dict`."""
         try:
             raw = payload.get("contributions") or []
             if isinstance(raw, dict):
@@ -191,10 +195,12 @@ class TermChunk:
         return self.terms == other.terms
 
     def to_dict(self) -> dict:
+        """JSON-ready payload (sorted term list)."""
         return {"terms": sorted(self.terms)}
 
     @classmethod
     def from_dict(cls, payload: dict) -> "TermChunk":
+        """Rebuild a term chunk from its :meth:`to_dict` payload."""
         try:
             return cls(payload["terms"])
         except (KeyError, TypeError) as exc:
@@ -260,12 +266,15 @@ class SimpleCluster:
         return sum(len(chunk) for chunk in self.record_chunks)
 
     def leaves(self) -> list["SimpleCluster"]:
+        """The simple clusters under this cluster: itself."""
         return [self]
 
     def iter_shared_chunks(self) -> Iterator[SharedChunk]:
+        """Shared chunks in this subtree: none for a simple cluster."""
         return iter(())
 
     def to_dict(self) -> dict:
+        """JSON-ready payload (type tag, label, size and chunks)."""
         return {
             "type": "simple",
             "label": self.label,
@@ -276,6 +285,7 @@ class SimpleCluster:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SimpleCluster":
+        """Rebuild a simple cluster from its :meth:`to_dict` payload."""
         try:
             return cls(
                 size=payload["size"],
@@ -350,6 +360,7 @@ class JointCluster:
         return self.record_chunk_terms() | self.term_chunk_terms()
 
     def to_dict(self) -> dict:
+        """JSON-ready payload (children and shared chunks, recursively)."""
         return {
             "type": "joint",
             "label": self.label,
@@ -359,6 +370,7 @@ class JointCluster:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JointCluster":
+        """Rebuild a joint cluster tree from its :meth:`to_dict` payload."""
         try:
             children = [cluster_from_dict(c) for c in payload["children"]]
             shared = [SharedChunk.from_dict(c) for c in payload.get("shared_chunks", [])]
@@ -478,6 +490,7 @@ class DisassociatedDataset:
 
     # -- serialization --------------------------------------------------- #
     def to_dict(self) -> dict:
+        """JSON-ready payload of the whole publication (parameters + clusters)."""
         return {
             "k": self.k,
             "m": self.m,
@@ -486,6 +499,7 @@ class DisassociatedDataset:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "DisassociatedDataset":
+        """Rebuild a published dataset from its :meth:`to_dict` payload."""
         try:
             clusters = [cluster_from_dict(c) for c in payload["clusters"]]
             return cls(clusters, k=payload["k"], m=payload["m"])

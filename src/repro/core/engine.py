@@ -49,6 +49,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, Sequence
 
+from repro.core import kernels
 from repro.core.clusters import Cluster, DisassociatedDataset, SimpleCluster
 from repro.core.dataset import TransactionDataset
 from repro.core.horizontal import (
@@ -67,6 +68,7 @@ from repro.core.vertical import (
 from repro.core.vocab import (
     EncodedCluster,
     EncodedDataset,
+    Vocabulary,
     discard_cluster_masks,
     register_cluster_masks,
 )
@@ -98,6 +100,11 @@ class AnonymizationParams:
             Both produce identical published datasets.
         jobs: number of worker processes for the per-cluster VERPART
             fan-out (encoded backend only); ``1`` runs in-process.
+        kernels: vectorized-kernel backend for the encoded core --
+            ``"numpy"``, ``"python"``, ``"auto"`` or ``None`` (defer to
+            ``$REPRO_KERNELS``, then auto-select).  Both kernel backends
+            produce identical published datasets; see
+            :mod:`repro.core.kernels`.
     """
 
     k: int = 5
@@ -109,6 +116,7 @@ class AnonymizationParams:
     verify: bool = True
     backend: str = "encoded"
     jobs: int = 1
+    kernels: Optional[str] = None
 
     def __post_init__(self):
         if self.k < 1:
@@ -136,6 +144,8 @@ class AnonymizationParams:
             )
         if not isinstance(self.jobs, int) or self.jobs < 1:
             raise ParameterError(f"jobs must be a positive integer, got {self.jobs!r}")
+        if self.kernels is not None:
+            object.__setattr__(self, "kernels", kernels.validate_choice(self.kernels))
         object.__setattr__(
             self, "sensitive_terms", frozenset(str(t) for t in self.sensitive_terms)
         )
@@ -151,8 +161,9 @@ class AnonymizationReport:
     of ``horizontal_seconds`` (the phase that owns the boundary).
 
     ``effective_jobs`` is the worker count actually used (requested
-    ``jobs`` capped at the host's CPU count); the ``refine_*`` counters
-    expose the REFINE driver's per-pass work (see
+    ``jobs`` capped at the host's CPU count); ``kernels`` is the resolved
+    vectorized-kernel backend (``"python"`` or ``"numpy"``); the
+    ``refine_*`` counters expose the REFINE driver's per-pass work (see
     :class:`~repro.core.refine.RefineStats`).
     """
 
@@ -169,6 +180,7 @@ class AnonymizationReport:
     encode_seconds: float = 0.0
     decode_seconds: float = 0.0
     effective_jobs: int = 1
+    kernels: str = "python"
     refine_passes: int = 0
     refine_pairs_considered: int = 0
     refine_merges_attempted: int = 0
@@ -227,6 +239,9 @@ class PipelineContext:
         pool_provider: lazily returns the engine's shared worker pool (or
             ``None``); the vertical and refine phases draw from the same
             pool, so one ``anonymize`` call spawns processes at most once.
+        vocabulary: optional pre-warmed interning table the horizontal
+            phase encodes onto (shared across stream windows); ``None``
+            interns from scratch.
     """
 
     params: AnonymizationParams
@@ -238,6 +253,7 @@ class PipelineContext:
     refined: Optional[list[Cluster]] = None
     published: Optional[DisassociatedDataset] = None
     pool_provider: Optional[Callable[[], Optional[ProcessPoolExecutor]]] = None
+    vocabulary: Optional[Vocabulary] = None
 
     def pool(self) -> Optional[ProcessPoolExecutor]:
         """The shared worker pool, or ``None`` when running in-process."""
@@ -280,6 +296,7 @@ class Pipeline:
         return f"Pipeline({[phase.name for phase in self.phases]})"
 
     def run(self, ctx: PipelineContext) -> PipelineContext:
+        """Run every phase in order, timing each into the context's report."""
         for phase in self.phases:
             start = time.perf_counter()
             phase.run(ctx)
@@ -296,10 +313,11 @@ class HorizontalPhase:
     name = "horizontal"
 
     def run(self, ctx: PipelineContext) -> None:
+        """Fill ``ctx.partitions`` with bounded-size record groups (HORPART)."""
         params, report = ctx.params, ctx.report
         if params.backend == "encoded":
             start = time.perf_counter()
-            encoded = EncodedDataset.from_dataset(ctx.working)
+            encoded = EncodedDataset.from_dataset(ctx.working, vocab=ctx.vocabulary)
             report.encode_seconds += time.perf_counter() - start
             index_parts = horizontal_partition_indices(encoded, params.max_cluster_size)
             start = time.perf_counter()
@@ -328,6 +346,7 @@ class VerticalPhase:
     name = "vertical"
 
     def run(self, ctx: PipelineContext) -> None:
+        """Fill ``ctx.clusters`` with one published cluster per partition."""
         params = ctx.params
         partitions = ctx.partitions or []
         ctx.report.effective_jobs = effective_jobs(params.jobs)
@@ -369,6 +388,7 @@ class RefinePhase:
     name = "refine"
 
     def run(self, ctx: PipelineContext) -> None:
+        """Fill ``ctx.refined`` with the merged clusters; release mask caches."""
         try:
             self._refine(ctx)
         finally:
@@ -417,6 +437,7 @@ class VerifyPhase:
     name = "verify"
 
     def run(self, ctx: PipelineContext) -> None:
+        """Publish ``ctx.published`` and re-audit it when ``params.verify``."""
         published = ctx.publish()
         if ctx.params.verify:
             verify_km_anonymity(published)
@@ -439,14 +460,27 @@ class Disassociator:
             inherits the already-spawned workers; callers that set it own
             the cleanup (call :meth:`close` or use the engine as a context
             manager).
+        vocabulary: optional :class:`~repro.core.vocab.Vocabulary` the
+            encoded horizontal phase interns onto (instead of a fresh table
+            per call).  Interning is append-only and id-insensitive
+            decisions break ties on the decoded string, so reuse never
+            changes the output; the streaming executor hands one
+            shard-lifetime vocabulary to every window of a shard.  The
+            attribute is plain and may be swapped between ``anonymize``
+            calls.
     """
 
     def __init__(
-        self, params: Optional[AnonymizationParams] = None, *, keep_pool: bool = False
+        self,
+        params: Optional[AnonymizationParams] = None,
+        *,
+        keep_pool: bool = False,
+        vocabulary: Optional[Vocabulary] = None,
     ):
         self.params = params if params is not None else AnonymizationParams()
         self.last_report: Optional[AnonymizationReport] = None
         self.keep_pool = keep_pool
+        self.vocabulary = vocabulary
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_unavailable = False
 
@@ -462,7 +496,15 @@ class Disassociator:
             return None
         if self._pool is None:
             try:
-                self._pool = ProcessPoolExecutor(max_workers=workers)
+                # Workers start fresh interpreters where only $REPRO_KERNELS
+                # would apply; the initializer hands them the backend this
+                # engine's params resolve to, so an explicit kernels choice
+                # governs the fan-out too.
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=kernels.set_default,
+                    initargs=(kernels.resolve(self.params.kernels),),
+                )
             except (OSError, RuntimeError):  # pragma: no cover - no subprocess support
                 self._pool_unavailable = True
                 return None
@@ -494,7 +536,9 @@ class Disassociator:
         """
         params = self.params
         report = AnonymizationReport(
-            num_records=len(dataset), effective_jobs=effective_jobs(params.jobs)
+            num_records=len(dataset),
+            effective_jobs=effective_jobs(params.jobs),
+            kernels=kernels.resolve(params.kernels),
         )
         self.last_report = report
         sensitive = params.sensitive_terms
@@ -513,10 +557,15 @@ class Disassociator:
             dataset=dataset,
             working=working,
             pool_provider=self._shared_pool,
+            vocabulary=self.vocabulary if params.backend == "encoded" else None,
         )
         try:
-            self.build_pipeline().run(ctx)
-            published = ctx.publish()
+            # One consistent kernel backend for the whole run: every lazily
+            # resolving helper (checker construction, chunk assembly) sees
+            # the resolved value instead of re-consulting the environment.
+            with kernels.use(report.kernels):
+                self.build_pipeline().run(ctx)
+                published = ctx.publish()
         finally:
             if not self.keep_pool:
                 self.close()
@@ -678,6 +727,7 @@ def anonymize(
     verify: bool = True,
     backend: str = "encoded",
     jobs: int = 1,
+    kernels: Optional[str] = None,
 ) -> DisassociatedDataset:
     """Functional one-call interface to the disassociation pipeline."""
     params = AnonymizationParams(
@@ -690,5 +740,6 @@ def anonymize(
         verify=verify,
         backend=backend,
         jobs=jobs,
+        kernels=kernels,
     )
     return Disassociator(params).anonymize(dataset)

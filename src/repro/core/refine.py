@@ -52,6 +52,7 @@ from repro.core.anonymity import (
     is_km_anonymous,
     validate_km_parameters,
 )
+from repro.core import kernels
 from repro.core.clusters import Cluster, JointCluster, SharedChunk, SimpleCluster, TermChunk
 from repro.core.vocab import cluster_masks, iter_mask_bits
 from repro.exceptions import RefinementError
@@ -301,11 +302,11 @@ class _JointMaskBuilder:
     __slots__ = ("_sources", "num_rows")
 
     def __init__(self, leaves: Sequence[SimpleCluster]):
-        self._sources: list[tuple[SimpleCluster, dict, int]] = []
+        self._sources: list[tuple[SimpleCluster, dict, int, int]] = []
         offset = 0
         for leaf in leaves:
             masks, num_rows = cluster_masks(leaf)
-            self._sources.append((leaf, masks, offset))
+            self._sources.append((leaf, masks, offset, num_rows))
             offset += num_rows
         self.num_rows = offset
 
@@ -317,7 +318,7 @@ class _JointMaskBuilder:
         both a record chunk and a shared chunk).
         """
         joint: dict = {}
-        for leaf, masks, offset in self._sources:
+        for leaf, masks, offset, _num_rows in self._sources:
             for term in leaf.term_chunk.terms & candidates:
                 mask = masks.get(term)
                 if mask:
@@ -349,14 +350,20 @@ class _JointMaskBuilder:
 
         Sub-records are reassembled from the cached leaf masks in original
         record order, with per-leaf contribution counts in leaf order --
-        exactly what projecting every record would produce.
+        exactly what projecting every record would produce.  On the numpy
+        kernel backend, leaves of at least
+        :data:`~repro.core.kernels.PACKED_MIN_ROWS` rows assemble through
+        :func:`~repro.core.kernels.assemble_subrecords` (one ``unpackbits``
+        over the packed row matrix) instead of per-row bigint shifts; the
+        produced sub-records are identical.
         """
+        packed_assembly = kernels.resolve(None) == "numpy"
         shared_chunks: list[SharedChunk] = []
         placed: set = set()
         for domain in domains:
             subrecords: list[frozenset] = []
             contributions: dict = {}
-            for leaf, masks, _offset in self._sources:
+            for leaf, masks, _offset, leaf_rows in self._sources:
                 term_masks = []
                 or_mask = 0
                 for term in domain & leaf.term_chunk.terms:
@@ -372,6 +379,10 @@ class _JointMaskBuilder:
                     # One liftable term: every sub-record is the same
                     # singleton (shared, like the projections would be).
                     subrecords.extend([frozenset((term_masks[0][0],))] * count)
+                elif packed_assembly and leaf_rows >= kernels.PACKED_MIN_ROWS:
+                    subrecords.extend(
+                        kernels.assemble_subrecords(term_masks, leaf_rows)
+                    )
                 else:
                     subrecords.extend(
                         frozenset(t for t, mask in term_masks if (mask >> row) & 1)
@@ -425,7 +436,15 @@ def _select_domains_from_masks(
     checker: Optional[BitsetChunkChecker] = None
     while remaining:
         if not fast_pairs:
-            checker = BitsetChunkChecker(masks, k, m, share_masks=True)
+            if checker is None:
+                checker = BitsetChunkChecker(
+                    masks, k, m, share_masks=True, num_rows=num_rows
+                )
+            else:
+                # Only the accepted batch changes between rounds; reusing
+                # the checker keeps the packed mask matrix (numpy backend)
+                # built once instead of re-serialized per domain.
+                checker.reset()
         # Distinct-projection row classes feed the Property-1 k-anonymity
         # check; they are materialized only when a candidate actually
         # touches `restricted_terms` (most pairs never do).
@@ -469,7 +488,7 @@ def _select_domains_from_masks(
     if single_round and checker is None:
         # The hold-back fast path shrinks the accepted domain through the
         # checker; synthesize one for the inlined m <= 2 rounds.
-        checker = BitsetChunkChecker(masks, k, m, share_masks=True)
+        checker = BitsetChunkChecker(masks, k, m, share_masks=True, num_rows=num_rows)
         for term in domains[0]:
             checker.add(term)
     return domains, checker, single_round
@@ -1317,7 +1336,13 @@ def refine(
         workers = effective_jobs(jobs)
         if workers > 1:
             try:
-                created_pool = ProcessPoolExecutor(max_workers=workers)
+                # Hand workers the caller's resolved kernel backend (fresh
+                # interpreters only see $REPRO_KERNELS otherwise).
+                created_pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=kernels.set_default,
+                    initargs=(kernels.resolve(None),),
+                )
                 pool = created_pool
             except (OSError, RuntimeError):  # pragma: no cover - no subprocess support
                 pool = None

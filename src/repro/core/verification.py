@@ -15,6 +15,11 @@ against the three properties the proof relies on:
 
 ``verify_km_anonymity`` raises :class:`AnonymityViolationError` on the first
 violation, while ``audit`` returns a full report for diagnostics and tests.
+
+The chunk checks run through :func:`repro.core.anonymity.is_km_anonymous`,
+so on the numpy kernel backend (see :mod:`repro.core.kernels`) large chunks
+are verified with the packed batch DFS; audit verdicts are identical on
+both backends.
 """
 
 from __future__ import annotations

@@ -162,8 +162,16 @@ def partition_domains_fast(
     )
 
     chunk_domains: list[frozenset] = []
+    checker: Optional[BitsetChunkChecker] = None
     while remaining:
-        checker = BitsetChunkChecker(masks, k, m, share_masks=True)
+        if checker is None:
+            checker = BitsetChunkChecker(
+                masks, k, m, share_masks=True, num_rows=len(record_list)
+            )
+        else:
+            # Only the accepted set changes between rounds; reuse keeps the
+            # packed mask matrix (numpy backend) built once per cluster.
+            checker.reset()
         accepted: list[str] = []
         skipped: list[str] = []
         for term in remaining:

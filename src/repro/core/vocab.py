@@ -104,14 +104,25 @@ class EncodedDataset:
         self._postings: Optional[dict[int, set[int]]] = None
 
     @classmethod
-    def from_dataset(cls, dataset: TransactionDataset) -> "EncodedDataset":
+    def from_dataset(
+        cls, dataset: TransactionDataset, vocab: Optional[Vocabulary] = None
+    ) -> "EncodedDataset":
         """Encode a :class:`TransactionDataset` (or any record sequence).
 
         The interning loop is inlined (one dict probe per already-seen term
         instead of a method call + ``str`` coercion): encoding sits on the
         pipeline's hot boundary and runs once per input record.
+
+        ``vocab`` optionally reuses an existing (possibly pre-warmed)
+        :class:`Vocabulary` instead of interning from scratch -- the
+        streaming executor hands one shard-lifetime vocabulary to every
+        window so repeated terms keep their ids.  Interning is append-only,
+        and every id-sensitive decision downstream breaks ties on the
+        *decoded string*, so a pre-warmed vocabulary never changes the
+        output.
         """
-        vocab = Vocabulary()
+        if vocab is None:
+            vocab = Vocabulary()
         ids = vocab._ids
         terms = vocab._terms
         records = []

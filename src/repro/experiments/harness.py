@@ -49,6 +49,10 @@ class ExperimentConfig:
         datasets: which real-dataset proxies to use.
         backend: execution core passed to the engine (``encoded``/``string``).
         jobs: worker processes for the per-cluster VERPART fan-out.
+        kernels: vectorized-kernel backend passed to the engine
+            (``numpy``/``python``/``auto``; ``None`` defers to
+            ``$REPRO_KERNELS``, then auto-selection -- see
+            :mod:`repro.core.kernels`).
         stream: route runs through the sharded streaming pipeline
             (:class:`~repro.stream.ShardedPipeline`) instead of the
             single-pass engine.
@@ -71,6 +75,7 @@ class ExperimentConfig:
     datasets: tuple = ("POS", "WV1", "WV2")
     backend: str = "encoded"
     jobs: int = 1
+    kernels: Optional[str] = None
     stream: bool = False
     shards: int = 4
     max_records_in_memory: Optional[int] = None
@@ -131,6 +136,7 @@ def disassociate(
         verify=False,
         backend=config.backend,
         jobs=config.jobs,
+        kernels=config.kernels,
     )
     if config.stream:
         from repro.stream import DEFAULT_MAX_RECORDS_IN_MEMORY, ShardedPipeline, StreamParams

@@ -54,8 +54,10 @@ from repro.core.clusters import (
     SharedChunk,
     SimpleCluster,
 )
+from repro.core import kernels
 from repro.core.dataset import Record, TransactionDataset, ensure_record
 from repro.core.engine import AnonymizationParams, Disassociator, _fill_report
+from repro.core.vocab import Vocabulary
 from repro.datasets.io import append_jsonl, iter_batches, iter_jsonl, iter_records
 from repro.exceptions import ParameterError
 from repro.stream.boundary import BoundaryRepairSummary, verify_and_repair
@@ -87,12 +89,21 @@ class StreamParams:
             uses a temporary directory removed after the run; an explicit
             path is created if needed and the spill files are left in place
             for inspection.
+        reuse_vocabulary: share one shard-lifetime
+            :class:`~repro.core.vocab.Vocabulary` across a shard's windows
+            (encoded backend), so later windows only intern terms they have
+            not seen yet instead of re-interning from scratch.  Interning
+            is append-only and id-insensitive decisions tie-break on the
+            decoded string, so the published output is identical with and
+            without reuse (covered by the kernel test suite); disable only
+            to bound the interning table by window instead of by shard.
     """
 
     shards: int = DEFAULT_SHARDS
     max_records_in_memory: int = DEFAULT_MAX_RECORDS_IN_MEMORY
     strategy: str = "hash"
     spill_dir: Optional[PathLike] = None
+    reuse_vocabulary: bool = True
 
     def __post_init__(self):
         if self.shards < 1:
@@ -263,13 +274,18 @@ class ShardedPipeline:
             strategy=self.stream.strategy,
         )
         self.last_report = report
-        if self.stream.spill_dir is None:
-            with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
-                published = self._run(records, Path(tmp), report)
-        else:
-            spill_dir = Path(self.stream.spill_dir)
-            spill_dir.mkdir(parents=True, exist_ok=True)
-            published = self._run(records, spill_dir, report)
+        # One consistent kernel backend for the whole streaming run: the
+        # windows re-enter the same scope through the engine, and the
+        # global boundary audit (which runs outside any engine call) sees
+        # the configured backend instead of re-consulting the environment.
+        with kernels.use(kernels.resolve(self.params.kernels)):
+            if self.stream.spill_dir is None:
+                with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
+                    published = self._run(records, Path(tmp), report)
+            else:
+                spill_dir = Path(self.stream.spill_dir)
+                spill_dir.mkdir(parents=True, exist_ok=True)
+                published = self._run(records, spill_dir, report)
         return published
 
     # -- phases --------------------------------------------------------- #
@@ -323,8 +339,15 @@ class ShardedPipeline:
         window_params = replace(self.params, verify=False)
         clusters: list[Cluster] = []
         report.shard_windows = [0] * self.stream.shards
+        reuse_vocab = (
+            self.stream.reuse_vocabulary and window_params.backend == "encoded"
+        )
         with Disassociator(window_params, keep_pool=True) as engine:
             for shard, path in enumerate(spiller.paths):
+                # One interning table per shard: every window of the shard
+                # encodes onto it, so only first-seen terms pay the intern
+                # cost (ids are append-only; relabeling keys are untouched).
+                engine.vocabulary = Vocabulary() if reuse_vocab else None
                 for window, batch in enumerate(iter_batches(iter_jsonl(path), bound)):
                     report.peak_resident_records = max(
                         report.peak_resident_records, len(batch)

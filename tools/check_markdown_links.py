@@ -1,0 +1,103 @@
+"""Markdown link checker for the repository's docs (CI docs job).
+
+Scans the given Markdown files (and directories, recursively) for inline
+links and images -- ``[text](target)`` / ``![alt](target)`` -- and fails
+when a *repository-relative* target does not exist on disk:
+
+* absolute URLs (``http(s)://``, ``mailto:`` and anything else with a
+  scheme) are skipped -- this is a docs-tree consistency check, not a web
+  crawler;
+* pure fragments (``#section``) are skipped; a fragment on a relative
+  target is stripped before the existence check;
+* targets that resolve *outside* the repository root are skipped (the
+  README's CI badge links through GitHub's ``../../actions/...`` web
+  path, which has no on-disk counterpart).
+
+Standalone on purpose -- stdlib only, no ``repro`` imports -- so it runs
+before the package is installed.
+
+Usage::
+
+    python tools/check_markdown_links.py README.md docs CHANGES.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links/images: [text](target) with an optional title.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+#: Fenced code blocks, removed before scanning (``[x](y)`` in examples).
+FENCE_PATTERN = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+SCHEME_PATTERN = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def iter_markdown_files(paths: list[str]) -> list[Path]:
+    """Expand the given files/directories into a sorted list of .md files."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.update(path.rglob("*.md"))
+        elif path.suffix.lower() == ".md":
+            found.add(path)
+        else:
+            raise SystemExit(f"not a Markdown file or directory: {raw}")
+    return sorted(found)
+
+
+def check_file(markdown: Path, root: Path) -> list[str]:
+    """Return one failure line per broken relative link in ``markdown``."""
+    text = FENCE_PATTERN.sub("", markdown.read_text(encoding="utf-8"))
+    failures = []
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if SCHEME_PATTERN.match(target) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (markdown.parent / relative).resolve()
+        try:
+            resolved.relative_to(root)
+        except ValueError:
+            continue  # escapes the repo (e.g. GitHub web paths) -- not ours
+        if not resolved.exists():
+            failures.append(f"{markdown}: broken link -> {target}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="Markdown files and/or directories")
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root; links resolving outside it are skipped (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    files = iter_markdown_files(args.paths)
+    failures: list[str] = []
+    checked = 0
+    for markdown in files:
+        checked += 1
+        failures.extend(check_file(markdown, root))
+    print(f"link check: {checked} file(s) scanned")
+    if failures:
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(f"FAIL: {len(failures)} broken link(s)", file=sys.stderr)
+        return 1
+    print("OK: no broken relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
