@@ -12,7 +12,13 @@ Run with::
 
 from __future__ import annotations
 
-from repro import TransactionDataset, anonymize, audit, reconstruct
+from repro import (
+    AnonymizationService,
+    ServiceConfig,
+    TransactionDataset,
+    audit,
+    reconstruct,
+)
 
 QUERY_LOG = [
     {"itunes", "flu", "madonna", "ikea", "ruby"},
@@ -37,7 +43,12 @@ def main() -> None:
     )
 
     # --- anonymize -------------------------------------------------------
-    published = anonymize(dataset, k=3, m=2, max_cluster_size=6)
+    # The service facade is the production entry point: it keeps the worker
+    # pool, vocabulary and kernel backend warm across requests.  (The
+    # one-shot ``anonymize(dataset, k=3, m=2)`` shim produces bit-for-bit
+    # the same publication.)
+    with AnonymizationService(ServiceConfig(k=3, m=2, max_cluster_size=6)) as service:
+        published = service.run(dataset).publication
     print(f"published: {published}")
     for leaf in published.simple_clusters():
         print(f"\ncluster {leaf.label} (|P| = {leaf.size})")

@@ -11,7 +11,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-disassociation",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Privacy preservation by disassociation (PVLDB 2012): "
         "k^m-anonymization of sparse set-valued data"

@@ -18,15 +18,21 @@ The package provides:
 
 Quickstart::
 
-    from repro import TransactionDataset, anonymize, reconstruct
+    from repro import AnonymizationService, ServiceConfig, TransactionDataset, reconstruct
 
     data = TransactionDataset([
         {"new york", "air tickets", "hotels"},
         {"new york", "air tickets", "museums"},
         ...
     ])
-    published = anonymize(data, k=3, m=2)
+    with AnonymizationService(ServiceConfig(k=3, m=2)) as service:
+        published = service.run(data).publication
     sample_world = reconstruct(published, seed=0)
+
+The long-lived :class:`AnonymizationService` (:mod:`repro.service`) is
+the recommended entry point; the one-shot :func:`anonymize` /
+:func:`anonymize_stream` helpers remain as deprecation-shimmed wrappers
+with bit-for-bit identical output.
 """
 
 from repro.core import (
@@ -58,23 +64,37 @@ from repro.stream import (
     StreamParams,
     anonymize_stream,
 )
+from repro.service import (
+    AnonymizationRequest,
+    AnonymizationService,
+    Job,
+    PublicationResult,
+    ServiceConfig,
+    anonymization_service,
+)
 from repro.exceptions import (
     AnonymityViolationError,
     DatasetError,
     DatasetFormatError,
+    EngineClosedError,
     HierarchyError,
     MiningError,
     ParameterError,
     ReconstructionError,
     ReproError,
     RefinementError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceSaturatedError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnonymizationParams",
     "AnonymizationReport",
+    "AnonymizationRequest",
+    "AnonymizationService",
     "AnonymityViolationError",
     "AuditReport",
     "DatasetError",
@@ -83,18 +103,25 @@ __all__ = [
     "Disassociator",
     "EncodedCluster",
     "EncodedDataset",
+    "EngineClosedError",
     "HierarchyError",
+    "Job",
     "JointCluster",
     "MiningError",
     "ParameterError",
     "Pipeline",
     "PipelineContext",
+    "PublicationResult",
     "Vocabulary",
     "ReconstructionError",
     "RecordChunk",
     "Reconstructor",
     "RefinementError",
     "ReproError",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceSaturatedError",
     "SharedChunk",
     "ShardedPipeline",
     "ShardedReport",
@@ -102,6 +129,7 @@ __all__ = [
     "StreamParams",
     "TermChunk",
     "TransactionDataset",
+    "anonymization_service",
     "anonymize_stream",
     "anonymize",
     "audit",

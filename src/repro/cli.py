@@ -32,13 +32,11 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.core.engine import AnonymizationParams, Disassociator
 from repro.core.reconstruct import Reconstructor
 from repro.core.verification import audit
 from repro.datasets.io import (
     read_disassociated_json,
     read_records,
-    write_disassociated_json,
     write_transactions,
 )
 from repro.datasets.quest import generate_quest
@@ -46,13 +44,8 @@ from repro.datasets.real_proxies import available_datasets, load_proxy
 from repro.datasets.scenarios import SCENARIOS
 from repro.exceptions import ReproError
 from repro.experiments.harness import ExperimentConfig, evaluate as evaluate_metrics
-from repro.stream import (
-    DEFAULT_MAX_RECORDS_IN_MEMORY,
-    DEFAULT_SHARDS,
-    STRATEGIES,
-    ShardedPipeline,
-    StreamParams,
-)
+from repro.service import AnonymizationRequest, AnonymizationService, ServiceConfig
+from repro.stream import DEFAULT_MAX_RECORDS_IN_MEMORY, DEFAULT_SHARDS, STRATEGIES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,7 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_anonymize(args) -> int:
-    params = AnonymizationParams(
+    # The CLI is a one-request caller of the same service facade that
+    # long-lived deployments hold open; --stream simply forces the routing
+    # the service would otherwise decide from input size.
+    config = ServiceConfig(
         k=args.k,
         m=args.m,
         max_cluster_size=args.max_cluster_size,
@@ -165,30 +161,17 @@ def _cmd_anonymize(args) -> int:
         backend=args.backend,
         jobs=args.jobs,
         kernels=args.kernels,
+        shards=args.shards,
+        max_records_in_memory=args.max_records_in_memory,
+        shard_strategy=args.shard_strategy,
     )
-    if args.stream:
-        pipeline = ShardedPipeline(
-            params,
-            StreamParams(
-                shards=args.shards,
-                max_records_in_memory=args.max_records_in_memory,
-                strategy=args.shard_strategy,
-            ),
-        )
-        published = pipeline.anonymize_file(args.input)
-        write_disassociated_json(published, args.output)
-        print(pipeline.last_report.summary())
-        return 0
-    dataset = read_records(args.input)
-    engine = Disassociator(params)
-    published = engine.anonymize(dataset)
-    write_disassociated_json(published, args.output)
-    report = engine.last_report
-    print(
-        f"anonymized {report.num_records} records into {report.num_clusters} clusters "
-        f"({report.num_record_chunks} record chunks, {report.num_shared_chunks} shared chunks) "
-        f"in {report.total_seconds:.2f}s"
+    request = AnonymizationRequest(
+        args.input, mode="stream" if args.stream else "batch"
     )
+    with AnonymizationService(config) as service:
+        result = service.run(request)
+    result.save(args.output)
+    print(result.summary())
     return 0
 
 

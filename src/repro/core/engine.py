@@ -45,7 +45,9 @@ Typical usage::
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, Sequence
 
@@ -72,7 +74,7 @@ from repro.core.vocab import (
     discard_cluster_masks,
     register_cluster_masks,
 )
-from repro.exceptions import ParameterError
+from repro.exceptions import EngineClosedError, ParameterError
 
 #: Execution backends: the interned/bitset core and the string reference.
 BACKENDS = ("encoded", "string")
@@ -483,6 +485,7 @@ class Disassociator:
         self.vocabulary = vocabulary
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_unavailable = False
+        self._closed = False
 
     # -- worker-pool lifecycle ------------------------------------------ #
     def _shared_pool(self) -> Optional[ProcessPoolExecutor]:
@@ -510,17 +513,47 @@ class Disassociator:
                 return None
         return self._pool
 
-    def close(self) -> None:
-        """Shut down the worker pool (no-op when none was spawned)."""
+    def _release_pool(self) -> None:
+        """Shut down the worker pool (no-op when none was spawned).
+
+        Internal end-of-run cleanup: unlike :meth:`close` it leaves the
+        engine usable, so an engine without ``keep_pool`` can serve many
+        ``anonymize`` calls (each spawning and releasing its own pool).
+        """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (the engine is retired)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Retire the engine: shut down the worker pool and refuse reuse.
+
+        Raises:
+            EngineClosedError: on a double close.  The shared pool is a
+                process-level resource other components (the service layer,
+                the streaming executor) may be drawing from, so a second
+                ``close()`` is a lifecycle bug worth surfacing rather than
+                silently absorbing.
+        """
+        if self._closed:
+            raise EngineClosedError(
+                "Disassociator.close() called twice; the engine was already closed"
+            )
+        self._closed = True
+        self._release_pool()
 
     def __enter__(self) -> "Disassociator":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.close()
+        # Tolerate an explicit close() inside the ``with`` body: the context
+        # manager guarantees cleanup, it does not insist on performing it.
+        if not self._closed:
+            self.close()
 
     def build_pipeline(self) -> Pipeline:
         """The default pipeline; override to add, drop or reorder phases."""
@@ -533,7 +566,13 @@ class Disassociator:
             AnonymityViolationError: if ``params.verify`` is set and the
                 produced dataset fails the independent audit (this would
                 indicate a library bug, not a user error).
+            EngineClosedError: if the engine was already :meth:`close`\\ d.
         """
+        if self._closed:
+            raise EngineClosedError(
+                "Disassociator.anonymize() called on a closed engine; "
+                "create a new Disassociator (or do not close this one)"
+            )
         params = self.params
         report = AnonymizationReport(
             num_records=len(dataset),
@@ -566,9 +605,17 @@ class Disassociator:
             with kernels.use(report.kernels):
                 self.build_pipeline().run(ctx)
                 published = ctx.publish()
+        except BrokenProcessPool:
+            # A crashed worker poisons the executor permanently.  Drop it
+            # so the next anonymize call respawns a fresh pool instead of
+            # failing forever -- long-lived keep_pool engines (the service
+            # layer) would otherwise turn one worker crash into a standing
+            # outage.
+            self._release_pool()
+            raise
         finally:
             if not self.keep_pool:
-                self.close()
+                self._release_pool()
         _fill_report(report, published)
         return published
 
@@ -729,8 +776,25 @@ def anonymize(
     jobs: int = 1,
     kernels: Optional[str] = None,
 ) -> DisassociatedDataset:
-    """Functional one-call interface to the disassociation pipeline."""
-    params = AnonymizationParams(
+    """Functional one-call interface to the disassociation pipeline.
+
+    .. deprecated:: 1.1
+        Compatibility shim over :class:`repro.service.AnonymizationService`;
+        the output is bit-for-bit identical, but a one-shot call rebuilds
+        the warm state (worker pool, vocabulary, kernel resolution) the
+        service exists to amortize.  Serving more than one request?  Hold a
+        service and call :meth:`~repro.service.AnonymizationService.run`.
+    """
+    warnings.warn(
+        "anonymize() is a one-shot compatibility shim; use "
+        "repro.service.AnonymizationService for repeated requests",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Imported lazily: the service layer builds on this module.
+    from repro.service import AnonymizationRequest, AnonymizationService, ServiceConfig
+
+    config = ServiceConfig(
         k=k,
         m=m,
         max_cluster_size=max_cluster_size,
@@ -742,4 +806,5 @@ def anonymize(
         jobs=jobs,
         kernels=kernels,
     )
-    return Disassociator(params).anonymize(dataset)
+    with AnonymizationService(config) as service:
+        return service.run(AnonymizationRequest(dataset, mode="batch")).publication

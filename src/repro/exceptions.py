@@ -67,3 +67,29 @@ class HierarchyError(ReproError):
 class MiningError(ReproError):
     """Raised when frequent-itemset mining receives invalid input
     (e.g. a non-positive ``top_k`` or a negative minimum support)."""
+
+
+class EngineClosedError(ReproError):
+    """Raised when a closed :class:`~repro.core.engine.Disassociator` is used.
+
+    Signals a lifecycle bug in the caller: either ``close()`` was called
+    twice, or ``anonymize()`` was invoked after the engine (and with it the
+    shared worker pool) had already been shut down.  Both used to fail
+    silently -- a double close leaked nothing but hid the bug, and reuse
+    after close quietly respawned a fresh pool behind the caller's back.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.service` layer."""
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when a request is issued to (or the lifecycle of) a closed
+    :class:`~repro.service.AnonymizationService` is violated: ``run()`` /
+    ``submit()`` after ``close()``, or a double ``close()``."""
+
+
+class ServiceSaturatedError(ServiceError):
+    """Raised by non-blocking :meth:`~repro.service.AnonymizationService.submit`
+    when the bounded job queue is full (the service is saturated)."""

@@ -18,8 +18,8 @@ from typing import Optional
 
 from repro.core.clusters import DisassociatedDataset
 from repro.core.dataset import TransactionDataset
-from repro.core.engine import AnonymizationParams, Disassociator
 from repro.datasets.real_proxies import load_proxy
+from repro.service import AnonymizationRequest, AnonymizationService, ServiceConfig
 from repro.metrics import (
     relative_error_chunks,
     relative_error_reconstructed,
@@ -85,6 +85,31 @@ class ExperimentConfig:
         """A copy of the configuration with some fields replaced."""
         return replace(self, **overrides)
 
+    def to_service_config(self, **overrides) -> "ServiceConfig":
+        """Project the anonymization slice onto a :class:`ServiceConfig`.
+
+        The experiment-only knobs (``top_k``, ``scale``, ``seed``, ...)
+        stay here; everything the engine or streaming executor consumes is
+        forwarded, so the drivers run through the same service facade as
+        production callers.
+        """
+        values = dict(
+            k=self.k,
+            m=self.m,
+            max_cluster_size=self.max_cluster_size,
+            backend=self.backend,
+            jobs=self.jobs,
+            kernels=self.kernels,
+            shards=self.shards,
+            shard_strategy=self.shard_strategy,
+        )
+        # A None bound means "subsystem default": leave the key out and
+        # let ServiceConfig's own field default supply it.
+        if self.max_records_in_memory is not None:
+            values["max_records_in_memory"] = self.max_records_in_memory
+        values.update(overrides)
+        return ServiceConfig(**values)
+
 
 #: Configuration used by the benchmark suite: small enough for CI, large
 #: enough that the paper's qualitative shapes are visible.
@@ -128,38 +153,19 @@ def disassociate(
     appended to it, so perf benchmarks can emit machine-readable timings
     without changing the return contract.
     """
-    params = AnonymizationParams(
-        k=config.k if k is None else k,
-        m=config.m,
-        max_cluster_size=config.max_cluster_size,
-        refine=refine,
-        verify=False,
-        backend=config.backend,
-        jobs=config.jobs,
-        kernels=config.kernels,
+    service_config = config.to_service_config(
+        k=config.k if k is None else k, refine=refine, verify=False
     )
-    if config.stream:
-        from repro.stream import DEFAULT_MAX_RECORDS_IN_MEMORY, ShardedPipeline, StreamParams
-
-        bound = config.max_records_in_memory
-        if bound is None:
-            bound = DEFAULT_MAX_RECORDS_IN_MEMORY
-        engine = ShardedPipeline(
-            params,
-            StreamParams(
-                shards=config.shards,
-                max_records_in_memory=bound,
-                strategy=config.shard_strategy,
-            ),
-        )
-    else:
-        engine = Disassociator(params)
-    start = time.perf_counter()
-    published = engine.anonymize(dataset)
-    elapsed = time.perf_counter() - start
+    request = AnonymizationRequest(
+        dataset, mode="stream" if config.stream else "batch"
+    )
+    with AnonymizationService(service_config) as service:
+        start = time.perf_counter()
+        result = service.run(request)
+        elapsed = time.perf_counter() - start
     if report_sink is not None:
-        report_sink.append(engine.last_report)
-    return published, elapsed
+        report_sink.append(result.report)
+    return result.publication, elapsed
 
 
 def evaluate(

@@ -1,0 +1,33 @@
+"""Service-grade facade over the disassociation pipelines.
+
+The public surface of the service layer:
+
+* :class:`AnonymizationService` -- a long-lived engine owning the warm
+  state (worker pool, vocabulary, kernel backend) shared across requests,
+  with synchronous (:meth:`~AnonymizationService.run`) and queued
+  (:meth:`~AnonymizationService.submit` -> :class:`Job`) execution.
+* :class:`ServiceConfig` -- the single validated configuration consolidating
+  the engine, streaming and experiment parameter sets, with
+  :meth:`~ServiceConfig.from_dict` / :meth:`~ServiceConfig.from_env`
+  loaders.
+* :class:`AnonymizationRequest` / :class:`PublicationResult` -- the uniform
+  request and result model covering batch, streaming and file inputs.
+
+The legacy one-shot entry points (:func:`repro.anonymize`,
+:func:`repro.anonymize_stream`, the CLI) are thin shims over this layer.
+"""
+
+from repro.service.config import ENV_PREFIX, ServiceConfig
+from repro.service.request import MODES, AnonymizationRequest, PublicationResult
+from repro.service.service import AnonymizationService, Job, anonymization_service
+
+__all__ = [
+    "ENV_PREFIX",
+    "MODES",
+    "AnonymizationRequest",
+    "AnonymizationService",
+    "Job",
+    "PublicationResult",
+    "ServiceConfig",
+    "anonymization_service",
+]

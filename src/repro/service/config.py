@@ -1,0 +1,270 @@
+"""One validated configuration for every way of running the anonymizer.
+
+Before the service layer existed the same knobs were spread over three
+overlapping dataclasses -- :class:`~repro.core.engine.AnonymizationParams`
+(the engine), :class:`~repro.stream.StreamParams` (the sharded streaming
+executor) and the anonymization half of
+:class:`~repro.experiments.harness.ExperimentConfig` (the experiment
+drivers) -- and every entry point re-assembled its own combination.
+:class:`ServiceConfig` is the superset: one frozen, validated dataclass
+that projects onto the legacy parameter objects (:meth:`engine_params`,
+:meth:`stream_params`) so the engine and executor underneath keep their
+exact semantics, plus loaders for the two ways a long-lived service is
+configured in practice -- a parsed config file (:meth:`from_dict`) and
+process environment variables (:meth:`from_env`).
+
+Validation is delegated to the legacy parameter classes: constructing a
+``ServiceConfig`` builds (and discards) an ``AnonymizationParams`` and a
+``StreamParams``, so every invariant those classes enforce (``k >= 1``,
+``max_cluster_size > k``, a known backend, ...) holds here too and raises
+the same :class:`~repro.exceptions.ParameterError`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, fields, replace
+from typing import Mapping, Optional
+
+from repro.core.engine import AnonymizationParams, DEFAULT_MAX_CLUSTER_SIZE
+from repro.exceptions import ParameterError
+from repro.stream.executor import (
+    DEFAULT_MAX_RECORDS_IN_MEMORY,
+    DEFAULT_SHARDS,
+    StreamParams,
+)
+
+#: Environment prefix recognized by :meth:`ServiceConfig.from_env`.
+ENV_PREFIX = "REPRO_SERVICE_"
+
+#: ``from_env`` spellings accepted for boolean fields.
+_TRUE = frozenset({"1", "true", "yes", "on"})
+_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every knob of the anonymization service, validated once.
+
+    Attributes:
+        k, m: the anonymity parameters (paper defaults: ``k=5, m=2``).
+        max_cluster_size: HORPART cluster-size bound.
+        refine: whether to run the REFINE step.
+        max_join_size: REFINE joint-cluster size cap (``None`` defaults to
+            ``8 * max_cluster_size`` inside the engine).
+        sensitive_terms: terms forced into term chunks (l-diversity).
+        verify: independently re-audit each publication before returning.
+        backend: execution core (``"encoded"`` or ``"string"``).
+        jobs: worker processes for the VERPART/REFINE fan-outs; the
+            service spawns this pool once and shares it across requests.
+        kernels: vectorized-kernel backend (``"numpy"`` / ``"python"`` /
+            ``"auto"`` / ``None`` meaning ``$REPRO_KERNELS`` then auto);
+            the service resolves it once at construction.
+        shards: shard count for requests routed to the streaming pipeline.
+        max_records_in_memory: streaming bound on resident records.
+        shard_strategy: streaming record routing (``hash`` / ``horpart``).
+        spill_dir: directory for streaming spill files (``None``: temp dir).
+        reuse_vocabulary: share one shard-lifetime vocabulary across a
+            shard's windows (output-invariant; see :mod:`repro.stream`).
+        auto_stream_threshold: record count above which an ``"auto"``
+            request is routed to the streaming pipeline instead of the
+            in-memory one; ``None`` uses ``max_records_in_memory``.
+        max_pending: bound on the service's job queue (``submit`` blocks --
+            or raises, when non-blocking -- once this many jobs wait).
+    """
+
+    k: int = 5
+    m: int = 2
+    max_cluster_size: int = DEFAULT_MAX_CLUSTER_SIZE
+    refine: bool = True
+    max_join_size: Optional[int] = None
+    sensitive_terms: frozenset = field(default_factory=frozenset)
+    verify: bool = True
+    backend: str = "encoded"
+    jobs: int = 1
+    kernels: Optional[str] = None
+    shards: int = DEFAULT_SHARDS
+    max_records_in_memory: int = DEFAULT_MAX_RECORDS_IN_MEMORY
+    shard_strategy: str = "hash"
+    spill_dir: Optional[str] = None
+    reuse_vocabulary: bool = True
+    auto_stream_threshold: Optional[int] = None
+    max_pending: int = 32
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "sensitive_terms", frozenset(str(t) for t in self.sensitive_terms)
+        )
+        if self.spill_dir is not None:
+            object.__setattr__(self, "spill_dir", str(self.spill_dir))
+        # Delegate the cross-field invariants to the legacy parameter
+        # classes: building them validates them.
+        self.engine_params()
+        self.stream_params()
+        # Enforced by ShardedPipeline (not StreamParams), so repeat it here
+        # to keep the config fail-fast: a window smaller than the HORPART
+        # bound would silently tighten the clustering.
+        if self.max_records_in_memory < self.max_cluster_size:
+            raise ParameterError(
+                "max_records_in_memory must be at least max_cluster_size "
+                f"(got {self.max_records_in_memory} < {self.max_cluster_size})"
+            )
+        if self.auto_stream_threshold is not None and self.auto_stream_threshold < 1:
+            raise ParameterError(
+                f"auto_stream_threshold must be >= 1, got {self.auto_stream_threshold}"
+            )
+        if not isinstance(self.max_pending, int) or self.max_pending < 1:
+            raise ParameterError(
+                f"max_pending must be a positive integer, got {self.max_pending!r}"
+            )
+
+    # -- projections onto the legacy parameter objects ------------------- #
+    def engine_params(self, **overrides) -> AnonymizationParams:
+        """The :class:`AnonymizationParams` slice of this configuration."""
+        values = dict(
+            k=self.k,
+            m=self.m,
+            max_cluster_size=self.max_cluster_size,
+            refine=self.refine,
+            max_join_size=self.max_join_size,
+            sensitive_terms=self.sensitive_terms,
+            verify=self.verify,
+            backend=self.backend,
+            jobs=self.jobs,
+            kernels=self.kernels,
+        )
+        values.update(overrides)
+        return AnonymizationParams(**values)
+
+    def stream_params(self, **overrides) -> StreamParams:
+        """The :class:`StreamParams` slice of this configuration."""
+        values = dict(
+            shards=self.shards,
+            max_records_in_memory=self.max_records_in_memory,
+            strategy=self.shard_strategy,
+            spill_dir=self.spill_dir,
+            reuse_vocabulary=self.reuse_vocabulary,
+        )
+        values.update(overrides)
+        return StreamParams(**values)
+
+    @property
+    def stream_threshold(self) -> int:
+        """Record count beyond which ``"auto"`` requests stream."""
+        if self.auto_stream_threshold is not None:
+            return self.auto_stream_threshold
+        return self.max_records_in_memory
+
+    def with_overrides(self, **overrides) -> "ServiceConfig":
+        """A copy of the configuration with some fields replaced."""
+        return replace(self, **overrides)
+
+    # -- serialization ---------------------------------------------------- #
+    def to_dict(self) -> dict:
+        """JSON-safe dict form; round-trips through :meth:`from_dict`."""
+        payload = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, frozenset):
+                value = sorted(value)
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def validate_keys(cls, keys, *, what: str = "keys") -> None:
+        """Reject unknown field names (shared by ``from_dict`` and requests).
+
+        A misspelled knob silently falling back to its default is the
+        classic production config bug, so every entry point that accepts
+        field names by string fails fast through this check.
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(keys) - known)
+        if unknown:
+            raise ParameterError(
+                f"unknown ServiceConfig {what}: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ServiceConfig":
+        """Build a configuration from a mapping (e.g. a parsed config file).
+
+        Unknown keys raise :class:`~repro.exceptions.ParameterError` --- a
+        misspelled knob silently falling back to its default is the classic
+        production config bug.
+        """
+        cls.validate_keys(payload)
+        values = dict(payload)
+        if "sensitive_terms" in values and values["sensitive_terms"] is not None:
+            values["sensitive_terms"] = frozenset(
+                str(t) for t in values["sensitive_terms"]
+            )
+        return cls(**values)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None, prefix: str = ENV_PREFIX
+    ) -> "ServiceConfig":
+        """Build a configuration from ``REPRO_SERVICE_*`` environment variables.
+
+        Every dataclass field maps to ``<prefix><FIELD_NAME>`` (upper case):
+        ``REPRO_SERVICE_K=10``, ``REPRO_SERVICE_SHARD_STRATEGY=horpart``,
+        ``REPRO_SERVICE_SENSITIVE_TERMS=aids,flu`` (comma separated), ...
+        Booleans accept ``1/0``, ``true/false``, ``yes/no``, ``on/off``;
+        optional fields accept the empty string or ``none`` for ``None``.
+        Unset variables keep their defaults; a malformed value -- or a
+        prefixed variable naming no known field (a misspelled knob
+        silently keeping its default is the classic production config
+        bug) -- raises :class:`~repro.exceptions.ParameterError` naming
+        the variable.
+        """
+        if environ is None:
+            environ = os.environ
+        found = {
+            key[len(prefix):].lower(): raw
+            for key, raw in environ.items()
+            if key.startswith(prefix)
+        }
+        cls.validate_keys(found, what=f"environment variables (via {prefix}*)")
+        return cls(
+            **{name: _parse_env_value(name, raw) for name, raw in found.items()}
+        )
+
+
+#: ``from_env`` parsers per field: how each raw string becomes a value.
+_INT_FIELDS = frozenset(
+    {"k", "m", "max_cluster_size", "jobs", "shards", "max_records_in_memory", "max_pending"}
+)
+_OPTIONAL_INT_FIELDS = frozenset({"max_join_size", "auto_stream_threshold"})
+_BOOL_FIELDS = frozenset({"refine", "verify", "reuse_vocabulary"})
+_OPTIONAL_STR_FIELDS = frozenset({"kernels", "spill_dir"})
+
+
+def _parse_env_value(name: str, raw: str):
+    """Parse one ``REPRO_SERVICE_*`` value into its field's type."""
+    text = raw.strip()
+    if name in _BOOL_FIELDS:
+        lowered = text.lower()
+        if lowered in _TRUE:
+            return True
+        if lowered in _FALSE:
+            return False
+        raise ParameterError(
+            f"{ENV_PREFIX}{name.upper()}: expected a boolean "
+            f"(1/0, true/false, yes/no, on/off), got {raw!r}"
+        )
+    if name in _INT_FIELDS or name in _OPTIONAL_INT_FIELDS:
+        if name in _OPTIONAL_INT_FIELDS and text.lower() in ("", "none"):
+            return None
+        try:
+            return int(text)
+        except ValueError:
+            raise ParameterError(
+                f"{ENV_PREFIX}{name.upper()}: expected an integer, got {raw!r}"
+            ) from None
+    if name == "sensitive_terms":
+        return frozenset(t.strip() for t in text.split(",") if t.strip())
+    if name in _OPTIONAL_STR_FIELDS and text.lower() in ("", "none"):
+        return None
+    return text

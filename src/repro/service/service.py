@@ -1,0 +1,449 @@
+"""The long-lived anonymization service facade.
+
+:class:`AnonymizationService` owns, for its whole lifetime, the warm state
+that every one-shot entry point used to rebuild per call:
+
+* one :class:`~repro.core.engine.Disassociator` (and with it one shared
+  worker pool, spawned lazily and kept across requests via ``keep_pool``),
+* one service-lifetime :class:`~repro.core.vocab.Vocabulary`, so the
+  encode phase of back-to-back batch requests only interns terms it has
+  never seen (interning is append-only and output-invariant -- the same
+  property the streaming executor relies on per shard), and
+* a once-resolved vectorized-kernel backend.
+
+Requests (:class:`~repro.service.request.AnonymizationRequest`) auto-route
+to the in-memory pipeline or the sharded streaming pipeline on input type
+and the configured memory threshold; both paths return the same
+:class:`~repro.service.request.PublicationResult`.
+
+Concurrency model: :meth:`run` executes synchronously in the caller's
+thread; :meth:`submit` enqueues onto a bounded FIFO queue drained by a
+single worker thread.  Both paths serialize on one internal lock, so the
+warm engine (and its process pool) is never used by two requests at once
+and a given sequence of requests produces the same publications regardless
+of how callers interleave -- the vocabulary the requests share is
+output-invariant by construction, so even the *order* of concurrent
+submissions cannot change any individual result.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import CancelledError, Future
+from dataclasses import fields
+from itertools import chain, islice
+from typing import Iterator, Optional
+
+from repro.core import kernels
+from repro.core.dataset import TransactionDataset
+from repro.core.engine import AnonymizationParams, Disassociator
+from repro.core.vocab import Vocabulary
+from repro.datasets.io import iter_records
+from repro.exceptions import (
+    ParameterError,
+    ServiceClosedError,
+    ServiceSaturatedError,
+)
+from repro.service.config import ServiceConfig
+from repro.service.request import AnonymizationRequest, PublicationResult
+from repro.stream.executor import ShardedPipeline
+
+#: Queue item telling the worker thread to exit.
+_SENTINEL = object()
+
+#: Engine-identity fields: a per-request override touching one of these
+#: cannot reuse the warm engine (its pool/kernel state was built for the
+#: service's own values), so the request runs on a transient engine.
+_ENGINE_IDENTITY_FIELDS = ("backend", "jobs", "kernels")
+
+#: Keyword arguments of run()/submit() that configure the request itself;
+#: every other keyword is treated as a per-request ServiceConfig override.
+_REQUEST_FIELDS = tuple(
+    spec.name for spec in fields(AnonymizationRequest) if spec.name != "source"
+)
+
+
+class Job:
+    """A submitted request's future result.
+
+    Thin, read-only wrapper over :class:`concurrent.futures.Future` that
+    keeps the originating request attached and translates a shutdown
+    cancellation into :class:`~repro.exceptions.ServiceClosedError`.
+    """
+
+    def __init__(self, request: AnonymizationRequest):
+        self.request = request
+        self._future: Future = Future()
+        self._cancelled_by_service = False
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"Job({self.request.mode!r}, {state}, tag={self.request.tag!r})"
+
+    def done(self) -> bool:
+        """Whether the job finished (successfully, with an error, or cancelled)."""
+        return self._future.done()
+
+    def cancelled(self) -> bool:
+        """Whether the job was cancelled before it ran."""
+        return self._future.cancelled()
+
+    def cancel(self) -> bool:
+        """Try to cancel the job; only possible while it is still queued."""
+        return self._future.cancel()
+
+    def result(self, timeout: Optional[float] = None) -> PublicationResult:
+        """Block for (and return) the job's :class:`PublicationResult`.
+
+        Raises whatever the execution raised.  A job cancelled by a
+        non-draining service shutdown raises
+        :class:`~repro.exceptions.ServiceClosedError`; one the caller
+        cancelled via :meth:`cancel` raises the plain
+        :class:`concurrent.futures.CancelledError`.
+        """
+        try:
+            return self._future.result(timeout)
+        except CancelledError:
+            if not self._cancelled_by_service:
+                raise
+            raise ServiceClosedError(
+                "job was cancelled by service shutdown before it ran"
+            ) from None
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The exception the job raised, or ``None`` (blocks like ``result``)."""
+        try:
+            return self._future.exception(timeout)
+        except CancelledError:
+            if not self._cancelled_by_service:
+                raise
+            return ServiceClosedError(
+                "job was cancelled by service shutdown before it ran"
+            )
+
+
+class AnonymizationService:
+    """Warm, long-lived facade over the batch and streaming pipelines.
+
+    Args:
+        config: the service's :class:`ServiceConfig`; defaults match the
+            paper's parameters (``k=5, m=2``).
+
+    Use as a context manager (or call :meth:`close`) so the shared worker
+    pool and the job-queue worker are shut down deterministically::
+
+        with AnonymizationService(ServiceConfig(k=5, m=2, jobs=4)) as service:
+            result = service.run(dataset)                 # sync
+            job = service.submit(AnonymizationRequest(other_dataset))
+            ...
+            later = job.result()
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config if config is not None else ServiceConfig()
+        #: Resolved once for the service's lifetime; every request (and the
+        #: worker pool initializer) sees this literal backend instead of
+        #: re-consulting the environment.
+        self.kernels = kernels.resolve(self.config.kernels)
+        self._vocabulary = Vocabulary()
+        self._engine = Disassociator(
+            self.config.engine_params(kernels=self.kernels),
+            keep_pool=True,
+            vocabulary=self._vocabulary,
+        )
+        self._lock = threading.RLock()  # serializes request execution
+        self._state_lock = threading.Lock()  # guards closed flag + worker spawn
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.max_pending)
+        self._worker: Optional[threading.Thread] = None
+        self._closed = False
+        self._served = 0
+
+    # -- lifecycle ------------------------------------------------------- #
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def __enter__(self) -> "AnonymizationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self._closed:
+            self.close()
+
+    def close(self, drain: bool = True) -> None:
+        """Shut the service down.
+
+        With ``drain=True`` (default) every already-submitted job is
+        executed before the worker exits; with ``drain=False`` queued jobs
+        are cancelled (their ``result()`` raises
+        :class:`~repro.exceptions.ServiceClosedError`).  Either way the
+        shared engine (and its worker pool) is closed and later ``run`` /
+        ``submit`` / ``close`` calls raise
+        :class:`~repro.exceptions.ServiceClosedError`.
+        """
+        with self._state_lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    "AnonymizationService.close() called twice; "
+                    "the service was already closed"
+                )
+            self._closed = True
+            worker = self._worker
+        if worker is not None:
+            if not drain:
+                self._cancel_pending()
+            self._queue.put(_SENTINEL)
+            worker.join()
+        # Anything that raced into the queue behind the sentinel would
+        # otherwise wait forever; fail it explicitly.
+        self._cancel_pending()
+        with self._lock:
+            self._engine.close()
+
+    def _cancel_pending(self) -> None:
+        """Cancel every job still sitting in the queue (non-blocking)."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not _SENTINEL:
+                item._cancelled_by_service = True
+                item._future.cancel()
+            self._queue.task_done()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError(
+                "AnonymizationService is closed; create a new service"
+            )
+
+    # -- introspection --------------------------------------------------- #
+    def stats(self) -> dict:
+        """Warm-state snapshot: requests served, vocabulary size, queue depth."""
+        return {
+            "requests_served": self._served,
+            "vocabulary_terms": len(self._vocabulary),
+            "kernels": self.kernels,
+            "pending_jobs": self._queue.qsize(),
+            "closed": self._closed,
+        }
+
+    # -- entry points ----------------------------------------------------- #
+    def run(self, request, **kwargs) -> PublicationResult:
+        """Execute a request synchronously and return its result.
+
+        ``request`` is an :class:`AnonymizationRequest` (no keyword
+        arguments allowed then), or any request *source* -- dataset, file
+        path, iterable -- with the request's fields (``mode``, ``format``,
+        ``delimiter``, ``tag``, ``overrides``) given as keyword arguments.
+        """
+        request = self._coerce(request, kwargs)
+        with self._lock:
+            # Checked under the execution lock: a close() racing with this
+            # call either finishes first (we raise) or waits for us.
+            self._check_open()
+            return self._execute(request)
+
+    def submit(
+        self,
+        request,
+        *,
+        block: bool = True,
+        timeout: Optional[float] = None,
+        **kwargs,
+    ) -> Job:
+        """Enqueue a request and return a :class:`Job` future.
+
+        Jobs are executed FIFO by a single worker thread sharing the warm
+        engine, so concurrent submitters get deterministic results.  The
+        queue is bounded at ``config.max_pending``: a blocking submit waits
+        for space (up to ``timeout``), a non-blocking one raises
+        :class:`~repro.exceptions.ServiceSaturatedError` when full.
+        """
+        request = self._coerce(request, kwargs)
+        with self._state_lock:
+            self._check_open()
+            if self._worker is None:
+                self._worker = threading.Thread(
+                    target=self._worker_loop,
+                    name="repro-anonymization-service",
+                    daemon=True,
+                )
+                self._worker.start()
+        job = Job(request)
+        self._enqueue(job, block, timeout)
+        if self._closed:
+            # close() finished while we were blocked on a full queue; the
+            # worker is gone, so the job would never run.
+            job._cancelled_by_service = True
+            if job.cancel():
+                raise ServiceClosedError(
+                    "AnonymizationService was closed while the submit was "
+                    "waiting for queue space"
+                )
+            job._cancelled_by_service = False
+        return job
+
+    def _enqueue(self, job: Job, block: bool, timeout: Optional[float]) -> None:
+        """Put a job on the bounded queue, waking up if the service closes.
+
+        A blocking put is sliced into short waits so a submitter stuck on a
+        full queue notices a concurrent :meth:`close` instead of blocking
+        forever against a worker that is shutting down.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            self._check_open()
+            if not block:
+                slice_timeout = None
+            elif deadline is None:
+                slice_timeout = 0.05
+            else:
+                slice_timeout = min(0.05, deadline - time.monotonic())
+            try:
+                if block and slice_timeout is not None and slice_timeout > 0:
+                    self._queue.put(job, block=True, timeout=slice_timeout)
+                else:
+                    self._queue.put_nowait(job)
+                return
+            except queue.Full:
+                if not block or (deadline is not None and time.monotonic() >= deadline):
+                    raise ServiceSaturatedError(
+                        f"job queue is full ({self.config.max_pending} pending); "
+                        "retry, raise max_pending, or use a blocking submit"
+                    ) from None
+
+    @staticmethod
+    def _coerce(request, kwargs) -> AnonymizationRequest:
+        """Normalize ``run``/``submit`` input into an :class:`AnonymizationRequest`."""
+        if isinstance(request, AnonymizationRequest):
+            if kwargs:
+                raise ParameterError(
+                    "keyword arguments are not allowed when passing an "
+                    f"AnonymizationRequest (got {sorted(kwargs)})"
+                )
+            return request
+        request_fields = {
+            name: kwargs.pop(name) for name in _REQUEST_FIELDS if name in kwargs
+        }
+        if kwargs:  # remaining keywords are per-request config overrides
+            overrides = dict(request_fields.get("overrides", {}))
+            overrides.update(kwargs)
+            request_fields["overrides"] = overrides
+        return AnonymizationRequest(request, **request_fields)
+
+    # -- execution -------------------------------------------------------- #
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SENTINEL:
+                    return
+                if not item._future.set_running_or_notify_cancel():
+                    continue
+                try:
+                    with self._lock:
+                        result = self._execute(item.request)
+                except BaseException as exc:
+                    item._future.set_exception(exc)
+                else:
+                    item._future.set_result(result)
+            finally:
+                self._queue.task_done()
+
+    def _execute(self, request: AnonymizationRequest) -> PublicationResult:
+        config = self.config
+        if request.overrides:
+            config = config.with_overrides(**request.overrides)
+        mode, stream_source, dataset = self._route(request, config)
+        if mode == "batch":
+            published, report = self._run_batch(dataset, config)
+            result = PublicationResult(
+                published, report, "batch", config, original=dataset, tag=request.tag
+            )
+        else:
+            published, report = self._run_stream(stream_source, config)
+            result = PublicationResult(
+                published, report, "stream", config, tag=request.tag
+            )
+        self._served += 1
+        return result
+
+    def _route(self, request: AnonymizationRequest, config: ServiceConfig):
+        """Decide batch vs stream; returns ``(mode, stream_source, dataset)``.
+
+        Datasets route on their (known) length; paths and iterables are
+        peeked up to ``stream_threshold + 1`` records -- inputs that fit
+        under the threshold run in memory, larger ones stream without ever
+        materializing more than the peeked prefix.
+        """
+        if request.is_dataset:
+            dataset = request.source
+            if request.mode == "stream" or (
+                request.mode == "auto" and len(dataset) > config.stream_threshold
+            ):
+                return "stream", iter(dataset), None
+            return "batch", None, dataset
+        if request.is_path:
+            records: Iterator = iter_records(
+                request.source, format=request.format, delimiter=request.delimiter
+            )
+        else:
+            records = iter(request.source)
+        if request.mode == "batch":
+            return "batch", None, TransactionDataset(records)
+        if request.mode == "stream":
+            return "stream", records, None
+        threshold = config.stream_threshold
+        head = list(islice(records, threshold + 1))
+        if len(head) <= threshold:
+            return "batch", None, TransactionDataset(head)
+        return "stream", chain(head, records), None
+
+    def _engine_params(self, config: ServiceConfig) -> AnonymizationParams:
+        # Kernels are normalized to the resolved literal ("python"/"numpy"):
+        # resolution is deterministic per process and both backends publish
+        # identical bytes, so this only skips re-consulting the environment
+        # -- and keeps "auto"/None comparable against the warm engine's
+        # resolved value, so they never silently defeat warm reuse.
+        return config.engine_params(kernels=kernels.resolve(config.kernels))
+
+    def _warm_engine_for(self, params: AnonymizationParams) -> Optional[Disassociator]:
+        """The warm engine, when ``params`` can reuse its pool/kernel state."""
+        for field_name in _ENGINE_IDENTITY_FIELDS:
+            if getattr(params, field_name) != getattr(self._engine.params, field_name):
+                return None
+        return self._engine
+
+    def _run_batch(self, dataset: TransactionDataset, config: ServiceConfig):
+        params = self._engine_params(config)
+        engine = self._warm_engine_for(params)
+        if engine is not None:
+            engine.params = params
+            engine.vocabulary = self._vocabulary
+        else:
+            # Overrides changed the engine's identity (backend/jobs/
+            # kernels): run on a transient engine, still sharing the warm
+            # vocabulary (interning is output-invariant).
+            engine = Disassociator(params, vocabulary=self._vocabulary)
+        published = engine.anonymize(dataset)
+        return published, engine.last_report
+
+    def _run_stream(self, records, config: ServiceConfig):
+        params = self._engine_params(config)
+        pipeline = ShardedPipeline(
+            params,
+            config.stream_params(),
+            window_engine=self._warm_engine_for(params),
+        )
+        published = pipeline.run(records)
+        return published, pipeline.last_report
+
+
+def anonymization_service(**config_fields) -> AnonymizationService:
+    """Convenience constructor: ``anonymization_service(k=5, jobs=4, ...)``."""
+    return AnonymizationService(ServiceConfig(**config_fields))

@@ -233,12 +233,22 @@ class ShardedPipeline:
     ``max_records_in_memory`` must be at least ``params.max_cluster_size``:
     a window smaller than the HORPART bound would silently tighten the
     clustering and change the output semantics.
+
+    ``window_engine`` optionally injects a caller-owned (typically warm)
+    :class:`~repro.core.engine.Disassociator` to run the windows on --- the
+    service layer passes its long-lived engine so streamed requests inherit
+    the already-spawned worker pool.  The pipeline temporarily swaps the
+    engine's parameters/vocabulary for the run and restores them; it never
+    closes an injected engine.  Without it, the pipeline owns a private
+    engine per run (the historical behavior).
     """
 
     def __init__(
         self,
         params: Optional[AnonymizationParams] = None,
         stream: Optional[StreamParams] = None,
+        *,
+        window_engine: Optional[Disassociator] = None,
     ):
         self.params = params if params is not None else AnonymizationParams()
         self.stream = stream if stream is not None else StreamParams()
@@ -248,6 +258,7 @@ class ShardedPipeline:
                 f"(got {self.stream.max_records_in_memory} < "
                 f"{self.params.max_cluster_size})"
             )
+        self.window_engine = window_engine
         self.last_report: Optional[ShardedReport] = None
 
     # -- public entry points ------------------------------------------- #
@@ -342,7 +353,17 @@ class ShardedPipeline:
         reuse_vocab = (
             self.stream.reuse_vocabulary and window_params.backend == "encoded"
         )
-        with Disassociator(window_params, keep_pool=True) as engine:
+        borrowed = self.window_engine
+        if borrowed is not None:
+            # Caller-owned warm engine: borrow it for the run (inheriting
+            # its live worker pool), restore its parameters and vocabulary
+            # afterwards, and never close it.
+            engine = borrowed
+            saved_params, saved_vocabulary = engine.params, engine.vocabulary
+            engine.params = window_params
+        else:
+            engine = Disassociator(window_params, keep_pool=True)
+        try:
             for shard, path in enumerate(spiller.paths):
                 # One interning table per shard: every window of the shard
                 # encodes onto it, so only first-seen terms pay the intern
@@ -358,6 +379,12 @@ class ShardedPipeline:
                     clusters.extend(
                         relabel_cluster(cluster, prefix) for cluster in published.clusters
                     )
+        finally:
+            if borrowed is None:
+                engine.close()
+            else:
+                borrowed.params = saved_params
+                borrowed.vocabulary = saved_vocabulary
         report.anonymize_seconds = time.perf_counter() - start
 
         # merge: one publication; relabeling already made labels unique.
@@ -441,14 +468,29 @@ def anonymize_stream(
     ``source`` may be a dataset file path (format sniffed from the
     extension), a :class:`TransactionDataset` or any iterable of records.
     Extra keyword arguments go to :class:`AnonymizationParams`.
+
+    .. deprecated:: 1.1
+        Compatibility shim over :class:`repro.service.AnonymizationService`
+        (a ``mode="stream"`` request); output is bit-for-bit identical.
     """
-    params = AnonymizationParams(k=k, m=m, **engine_params)
-    stream = StreamParams(
+    import warnings
+
+    warnings.warn(
+        "anonymize_stream() is a one-shot compatibility shim; use "
+        "repro.service.AnonymizationService with a mode='stream' request",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Imported lazily: the service layer builds on this module.
+    from repro.service import AnonymizationRequest, AnonymizationService, ServiceConfig
+
+    config = ServiceConfig(
+        k=k,
+        m=m,
         shards=shards,
         max_records_in_memory=max_records_in_memory,
-        strategy=strategy,
+        shard_strategy=strategy,
+        **engine_params,
     )
-    pipeline = ShardedPipeline(params, stream)
-    if isinstance(source, (str, Path)):
-        return pipeline.anonymize_file(source)
-    return pipeline.run(iter(source))
+    with AnonymizationService(config) as service:
+        return service.run(AnonymizationRequest(source, mode="stream")).publication
