@@ -70,7 +70,7 @@ def is_km_anonymous(
 
     On the numpy kernel backend (``kernels_backend``, resolved through
     :func:`repro.core.kernels.resolve` when ``None``) chunks of at least
-    :data:`~repro.core.kernels.PACKED_MIN_ROWS` rows run the same DFS as
+    :func:`~repro.core.kernels.packed_min_rows` rows run the same DFS as
     one vectorized AND + popcount per level over a packed uint64 mask
     matrix (:func:`~repro.core.kernels.packed_km_anonymous`); the verdict
     is identical in both shapes.
@@ -84,7 +84,7 @@ def is_km_anonymous(
     ordered = list(masks.values())
     if (
         m > 1
-        and len(records) >= kernels.PACKED_MIN_ROWS
+        and len(records) >= kernels.packed_min_rows()
         and kernels.resolve(kernels_backend) == "numpy"
     ):
         return kernels.packed_km_anonymous(ordered, len(records), k, m)
@@ -107,6 +107,46 @@ def _masks_are_km_anonymous(
         ):
             return False
     return True
+
+
+def km_anonymous_batch(
+    chunks: Sequence[Sequence[frozenset]],
+    k: int,
+    m: int,
+    kernels_backend: Optional[str] = None,
+) -> list[bool]:
+    """Batch :func:`is_km_anonymous` verdicts for many chunks at once.
+
+    The wave-batched counterpart used by the published-dataset auditor:
+    at the paper's default ``m == 2`` every chunk's term masks are packed
+    into one :class:`~repro.core.kernels.WaveBatch` matrix and all
+    verdicts come out of a single AND + popcount sweep, provided the
+    numpy backend is active and the *total* rows across the batch reach
+    :func:`~repro.core.kernels.packed_min_rows`.  Otherwise each chunk is
+    checked individually.  Verdicts are identical either way (enforced by
+    the parity suite).
+    """
+    validate_km_parameters(k, m)
+    chunks = list(chunks)
+    if (
+        m == 2
+        and kernels.numpy_available()
+        and kernels.resolve(kernels_backend) == "numpy"
+        and sum(len(chunk) for chunk in chunks) >= kernels.packed_min_rows()
+    ):
+        wave = kernels.WaveBatch(k)
+        for records in chunks:
+            masks: dict = {}
+            for row, record in enumerate(records):
+                bit = 1 << row
+                for term in record:
+                    masks[term] = masks.get(term, 0) | bit
+            wave.add_group(list(masks.values()), len(records))
+        return wave.group_km_verdicts()
+    return [
+        is_km_anonymous(records, k, m, kernels_backend=kernels_backend)
+        for records in chunks
+    ]
 
 
 def find_km_violation(
@@ -160,7 +200,7 @@ class BitsetChunkChecker:
     identical to the string checker because combination supports are.
 
     On the numpy kernel backend, chunks of at least
-    :data:`~repro.core.kernels.PACKED_MIN_ROWS` rows evaluate candidates
+    :func:`~repro.core.kernels.packed_min_rows` rows evaluate candidates
     through :class:`~repro.core.kernels.PackedSelection`: the masks are
     packed **once** into a uint64 word matrix at construction and each DFS
     level is one vectorized AND + popcount over the whole accepted batch.
@@ -200,7 +240,7 @@ class BitsetChunkChecker:
                 num_rows = max(
                     (mask.bit_length() for mask in self._masks.values()), default=0
                 )
-            if num_rows >= kernels.PACKED_MIN_ROWS:
+            if num_rows >= kernels.packed_min_rows():
                 self._packed = kernels.PackedSelection(self._masks, num_rows, k)
 
     @property

@@ -59,6 +59,24 @@ class RecordChunk:
             record for record in map(_as_record, subrecords) if record
         ]
 
+    @classmethod
+    def _from_normalized(
+        cls, domain: frozenset, subrecords: list
+    ) -> "RecordChunk":
+        """Construct without re-validating already-normalized content.
+
+        VERPART's chunk materialization projects guaranteed
+        ``frozenset``-of-``str`` records onto a guaranteed
+        ``frozenset``-of-``str`` domain, so the public constructor's
+        per-term coercion would be pure overhead on the phase's hottest
+        allocation.  Private: ``subrecords`` MUST already be non-empty
+        normalized frozensets.
+        """
+        chunk = cls.__new__(cls)
+        chunk.domain = domain
+        chunk.subrecords = subrecords
+        return chunk
+
     def __len__(self) -> int:
         return len(self.subrecords)
 
@@ -238,6 +256,31 @@ class SimpleCluster:
             [_as_record(r) for r in original_records] if original_records is not None else None
         )
 
+    @classmethod
+    def _from_normalized(
+        cls,
+        size: int,
+        record_chunks: list,
+        term_chunk: TermChunk,
+        label: str,
+        original_records: list,
+    ) -> "SimpleCluster":
+        """Construct without re-normalizing ``original_records``.
+
+        VERPART materializes clusters from records it already passed
+        through :func:`_as_record`, so the public constructor's per-record
+        coercion would rescan every term of every record a second time.
+        Private: ``original_records`` MUST already be normalized
+        frozensets and ``record_chunks`` a plain list.
+        """
+        cluster = cls.__new__(cls)
+        cluster.size = int(size)
+        cluster.record_chunks = record_chunks
+        cluster.term_chunk = term_chunk
+        cluster.label = label
+        cluster._original_records = original_records
+        return cluster
+
     def __repr__(self) -> str:
         return (
             f"SimpleCluster(label={self.label!r}, size={self.size}, "
@@ -314,6 +357,11 @@ class JointCluster:
         self.children: list[Union[SimpleCluster, JointCluster]] = list(children)
         self.shared_chunks: list[SharedChunk] = list(shared_chunks)
         self.label: str = label if label is not None else f"J{id(self):x}"
+        # The child list is fixed at construction (REFINE builds a fresh
+        # joint per merge), so the leaf walk and record count are computed
+        # once on first use -- they sit on REFINE's per-attempt hot path.
+        self._leaves_cache: Optional[list[SimpleCluster]] = None
+        self._size_cache: Optional[int] = None
 
     def __repr__(self) -> str:
         return (
@@ -324,14 +372,20 @@ class JointCluster:
     @property
     def size(self) -> int:
         """Total number of original records across all leaf clusters."""
-        return sum(leaf.size for leaf in self.leaves())
+        size = self._size_cache
+        if size is None:
+            self._size_cache = size = sum(leaf.size for leaf in self.leaves())
+        return size
 
     def leaves(self) -> list[SimpleCluster]:
         """The simple clusters at the leaves of this joint cluster."""
-        result: list[SimpleCluster] = []
-        for child in self.children:
-            result.extend(child.leaves())
-        return result
+        cached = self._leaves_cache
+        if cached is None:
+            cached = []
+            for child in self.children:
+                cached.extend(child.leaves())
+            self._leaves_cache = cached
+        return list(cached)
 
     def iter_shared_chunks(self) -> Iterator[SharedChunk]:
         """All shared chunks in this joint cluster's subtree (own first)."""

@@ -66,6 +66,7 @@ from repro.core.vertical import (
     partition_domains_fast,
     vertical_partition,
     vertical_partition_fast,
+    vertical_partition_wave,
 )
 from repro.core.vocab import (
     EncodedCluster,
@@ -107,6 +108,11 @@ class AnonymizationParams:
             ``$REPRO_KERNELS``, then auto-select).  Both kernel backends
             produce identical published datasets; see
             :mod:`repro.core.kernels`.
+        packed_min_rows: row-count crossover for the packed/wave kernels
+            (``None`` defers to ``$REPRO_PACKED_MIN_ROWS``, then the
+            :data:`~repro.core.kernels.PACKED_MIN_ROWS` default); see
+            :func:`repro.core.kernels.packed_min_rows`.  The threshold only
+            moves work between equivalent kernels, never the output.
     """
 
     k: int = 5
@@ -119,6 +125,7 @@ class AnonymizationParams:
     backend: str = "encoded"
     jobs: int = 1
     kernels: Optional[str] = None
+    packed_min_rows: Optional[int] = None
 
     def __post_init__(self):
         if self.k < 1:
@@ -148,6 +155,10 @@ class AnonymizationParams:
             raise ParameterError(f"jobs must be a positive integer, got {self.jobs!r}")
         if self.kernels is not None:
             object.__setattr__(self, "kernels", kernels.validate_choice(self.kernels))
+        if self.packed_min_rows is not None:
+            object.__setattr__(
+                self, "packed_min_rows", kernels.validate_min_rows(self.packed_min_rows)
+            )
         object.__setattr__(
             self, "sensitive_terms", frozenset(str(t) for t in self.sensitive_terms)
         )
@@ -167,6 +178,12 @@ class AnonymizationReport:
     vectorized-kernel backend (``"python"`` or ``"numpy"``); the
     ``refine_*`` counters expose the REFINE driver's per-pass work (see
     :class:`~repro.core.refine.RefineStats`).
+
+    ``packed_min_rows`` is the resolved packed/wave-kernel crossover in
+    effect for the run; the ``verpart_wave_*`` and ``refine_*wave*``
+    counters record how much work went through the cross-cluster wave
+    kernels versus the per-cluster fallback (see
+    :class:`~repro.core.kernels.WaveBatch`).
     """
 
     num_records: int = 0
@@ -189,6 +206,11 @@ class AnonymizationReport:
     refine_merges_applied: int = 0
     refine_merges_skipped_memo: int = 0
     refine_pairs_prefiltered: int = 0
+    packed_min_rows: int = 0
+    verpart_wave_clusters: int = 0
+    verpart_wave_fallbacks: int = 0
+    refine_pairs_waved: int = 0
+    refine_wave_fallbacks: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -222,6 +244,11 @@ class AnonymizationReport:
             "refine_merges_applied": self.refine_merges_applied,
             "refine_merges_skipped_memo": self.refine_merges_skipped_memo,
             "refine_pairs_prefiltered": self.refine_pairs_prefiltered,
+            "packed_min_rows": self.packed_min_rows,
+            "verpart_wave_clusters": self.verpart_wave_clusters,
+            "verpart_wave_fallbacks": self.verpart_wave_fallbacks,
+            "refine_pairs_waved": self.refine_pairs_waved,
+            "refine_wave_fallbacks": self.refine_wave_fallbacks,
         }
 
 
@@ -356,11 +383,14 @@ class VerticalPhase:
             pool = ctx.pool() if len(partitions) > 1 else None
             if pool is not None:
                 results = _parallel_vertical(partitions, params.k, params.m, pool)
+                ctx.report.verpart_wave_fallbacks += len(partitions)
             else:
-                results = [
-                    vertical_partition_fast(part, params.k, params.m, label=f"P{index}")
-                    for index, part in enumerate(partitions)
-                ]
+                wave_stats = kernels.WaveStats()
+                results = vertical_partition_wave(
+                    partitions, params.k, params.m, stats=wave_stats
+                )
+                ctx.report.verpart_wave_clusters += wave_stats.groups
+                ctx.report.verpart_wave_fallbacks += wave_stats.fallbacks
         else:
             results = [
                 vertical_partition(
@@ -422,6 +452,11 @@ class RefinePhase:
                 memoize=encoded,
                 executor=ctx.pool() if encoded and len(clusters) > 2 else None,
                 stats=stats,
+                arena=(
+                    ctx.vocabulary.subrecord_arena()
+                    if ctx.vocabulary is not None
+                    else None
+                ),
             )
             report.refine_passes = stats.passes
             report.refine_pairs_considered = stats.pairs_considered
@@ -429,6 +464,8 @@ class RefinePhase:
             report.refine_merges_applied = stats.merges_applied
             report.refine_merges_skipped_memo = stats.skipped_by_memo
             report.refine_pairs_prefiltered = stats.prefiltered
+            report.refine_pairs_waved = stats.pairs_waved
+            report.refine_wave_fallbacks = stats.wave_fallbacks
         else:
             ctx.refined = list(clusters)
 
@@ -506,7 +543,10 @@ class Disassociator:
                 self._pool = ProcessPoolExecutor(
                     max_workers=workers,
                     initializer=kernels.set_default,
-                    initargs=(kernels.resolve(self.params.kernels),),
+                    initargs=(
+                        kernels.resolve(self.params.kernels),
+                        kernels.packed_min_rows(self.params.packed_min_rows),
+                    ),
                 )
             except (OSError, RuntimeError):  # pragma: no cover - no subprocess support
                 self._pool_unavailable = True
@@ -578,6 +618,7 @@ class Disassociator:
             num_records=len(dataset),
             effective_jobs=effective_jobs(params.jobs),
             kernels=kernels.resolve(params.kernels),
+            packed_min_rows=kernels.packed_min_rows(params.packed_min_rows),
         )
         self.last_report = report
         sensitive = params.sensitive_terms
@@ -602,7 +643,7 @@ class Disassociator:
             # One consistent kernel backend for the whole run: every lazily
             # resolving helper (checker construction, chunk assembly) sees
             # the resolved value instead of re-consulting the environment.
-            with kernels.use(report.kernels):
+            with kernels.use(report.kernels, report.packed_min_rows):
                 self.build_pipeline().run(ctx)
                 published = ctx.publish()
         except BrokenProcessPool:

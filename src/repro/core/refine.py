@@ -40,6 +40,7 @@ suite):
 from __future__ import annotations
 
 import os
+from bisect import insort
 from collections import Counter
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
@@ -54,7 +55,7 @@ from repro.core.anonymity import (
 )
 from repro.core import kernels
 from repro.core.clusters import Cluster, JointCluster, SharedChunk, SimpleCluster, TermChunk
-from repro.core.vocab import cluster_masks, iter_mask_bits
+from repro.core.vocab import SubrecordArena, cluster_masks, iter_mask_bits
 from repro.exceptions import RefinementError
 
 
@@ -101,6 +102,11 @@ class RefineStats:
             already rejected in an earlier pass.
         prefiltered: pairs rejected by the cheap pre-checks (disjoint
             virtual term chunks, ``max_join_size``) without building chunks.
+        pairs_waved: serial merge attempts whose pairwise k^m verdicts came
+            out of a per-pass :class:`~repro.core.kernels.WaveBatch` matrix.
+        wave_fallbacks: serial merge attempts evaluated per pair instead
+            (python backend, ``m != 2``, no eligible term, or a pass whose
+            total rows stayed under the packed crossover).
     """
 
     passes: int = 0
@@ -109,6 +115,8 @@ class RefineStats:
     merges_applied: int = 0
     skipped_by_memo: int = 0
     prefiltered: int = 0
+    pairs_waved: int = 0
+    wave_fallbacks: int = 0
 
     def as_dict(self) -> dict:
         """The counters as a plain dict (machine-readable perf output)."""
@@ -119,6 +127,8 @@ class RefineStats:
             "merges_applied": self.merges_applied,
             "skipped_by_memo": self.skipped_by_memo,
             "prefiltered": self.prefiltered,
+            "pairs_waved": self.pairs_waved,
+            "wave_fallbacks": self.wave_fallbacks,
         }
 
 
@@ -299,10 +309,15 @@ class _JointMaskBuilder:
     records.
     """
 
-    __slots__ = ("_sources", "num_rows")
+    __slots__ = ("_sources", "num_rows", "_arena")
 
-    def __init__(self, leaves: Sequence[SimpleCluster]):
+    def __init__(
+        self,
+        leaves: Sequence[SimpleCluster],
+        arena: Optional[SubrecordArena] = None,
+    ):
         self._sources: list[tuple[SimpleCluster, dict, int, int]] = []
+        self._arena = arena
         offset = 0
         for leaf in leaves:
             masks, num_rows = cluster_masks(leaf)
@@ -352,12 +367,19 @@ class _JointMaskBuilder:
         record order, with per-leaf contribution counts in leaf order --
         exactly what projecting every record would produce.  On the numpy
         kernel backend, leaves of at least
-        :data:`~repro.core.kernels.PACKED_MIN_ROWS` rows assemble through
+        :func:`~repro.core.kernels.packed_min_rows` rows assemble through
         :func:`~repro.core.kernels.assemble_subrecords` (one ``unpackbits``
-        over the packed row matrix) instead of per-row bigint shifts; the
-        produced sub-records are identical.
+        over the packed row matrix) instead of per-row bigint shifts.  When
+        the builder carries a :class:`~repro.core.vocab.SubrecordArena`
+        (the driver threads one per refine call), smaller leaves assemble
+        one *interned* sub-record per distinct row pattern instead of one
+        fresh frozenset per row -- the arena canonical instances are reused
+        across merge attempts and passes.  The produced sub-records are
+        identical on every path.
         """
         packed_assembly = kernels.resolve(None) == "numpy"
+        packed_rows = kernels.packed_min_rows()
+        arena = self._arena
         shared_chunks: list[SharedChunk] = []
         placed: set = set()
         for domain in domains:
@@ -379,9 +401,13 @@ class _JointMaskBuilder:
                     # One liftable term: every sub-record is the same
                     # singleton (shared, like the projections would be).
                     subrecords.extend([frozenset((term_masks[0][0],))] * count)
-                elif packed_assembly and leaf_rows >= kernels.PACKED_MIN_ROWS:
+                elif packed_assembly and leaf_rows >= packed_rows:
                     subrecords.extend(
                         kernels.assemble_subrecords(term_masks, leaf_rows)
+                    )
+                elif arena is not None:
+                    subrecords.extend(
+                        arena.subrecords_for(term_masks, or_mask, count)
                     )
                 else:
                     subrecords.extend(
@@ -402,6 +428,8 @@ def _select_domains_from_masks(
     restricted_terms: frozenset,
     k: int,
     m: int,
+    wave: Optional[tuple] = None,
+    order: Optional[Sequence] = None,
 ) -> tuple[list[frozenset], Optional[BitsetChunkChecker], bool]:
     """Greedy shared-chunk domain selection over prebuilt joint masks.
 
@@ -411,19 +439,37 @@ def _select_domains_from_masks(
     domain touches ``restricted_terms``), and skipped candidates seed the
     next domain.
 
+    ``order`` optionally hands in the candidate order the driver already
+    sorted (all with support >= k); ``wave`` optionally hands in the pair's
+    wave verdicts as ``(bits, bad)`` -- term -> wave bit index, and the
+    per-term "bad partner" bitmasks from the pass-wide
+    :class:`~repro.core.kernels.WaveBatch` sweep (``None`` when the pair
+    has no sub-``k`` term pair at all).  With a wave, the pairwise
+    AND + popcount loop collapses to one small-int test per candidate; the
+    decisions are the same comparisons, precomputed.
+
     Returns ``(domains, last_checker, single_round)``; ``single_round`` is
     ``True`` when the very first round accepted every eligible candidate
     (one domain, nothing skipped), the precondition of the hold-back fast
     path.
     """
-    # A term with joint support < k can never join any domain (its
-    # singleton combination is already sub-k); dropping such terms here
-    # skips their per-round re-evaluation without changing a single
-    # accept/skip decision.
-    remaining = sorted(
-        (t for t in supports if supports[t] >= k),
-        key=lambda t: (-supports[t], t),
-    )
+    if order is not None:
+        # The driver's precomputed decreasing-support order; the hold-back
+        # loop re-selects over fewer terms, so filter while preserving the
+        # relative order (identical to re-sorting on the same key).
+        if len(order) == len(supports):
+            remaining = list(order)
+        else:
+            remaining = [t for t in order if t in supports]
+    else:
+        # A term with joint support < k can never join any domain (its
+        # singleton combination is already sub-k); dropping such terms here
+        # skips their per-round re-evaluation without changing a single
+        # accept/skip decision.
+        remaining = sorted(
+            (t for t in supports if supports[t] >= k),
+            key=lambda t: (-supports[t], t),
+        )
     num_candidates = len(remaining)
 
     # The m <= 2 case (the paper's default) inlines the k^m check to a
@@ -432,6 +478,9 @@ def _select_domains_from_masks(
     # left.  m >= 3 keeps the checker's pruned DFS.  Decisions are
     # identical in both shapes.
     fast_pairs = m <= 2
+    use_wave = wave is not None and m == 2
+    if use_wave:
+        wave_bits, wave_bad = wave
     domains: list[frozenset] = []
     checker: Optional[BitsetChunkChecker] = None
     while remaining:
@@ -451,11 +500,14 @@ def _select_domains_from_masks(
         classes: Optional[_ProjectionClasses] = None
         accepted: list = []
         accepted_masks: list = []
+        accepted_bits = 0
         skipped: list = []
         touches_restricted = False
         for term in remaining:
             mask = masks[term]
-            if fast_pairs:
+            if use_wave:
+                ok = wave_bad is None or not (wave_bad[wave_bits[term]] & accepted_bits)
+            elif fast_pairs:
                 ok = True
                 if m == 2:
                     for prior in accepted_masks:
@@ -474,7 +526,9 @@ def _select_domains_from_masks(
                 continue
             accepted.append(term)
             accepted_masks.append(mask)
-            if not fast_pairs:
+            if use_wave:
+                accepted_bits |= 1 << wave_bits[term]
+            elif not fast_pairs:
                 checker.add(term)
             if term in restricted_terms:
                 touches_restricted = True
@@ -673,6 +727,8 @@ def try_merge(
     _leaves: Optional[list] = None,
     _restricted_parts: Optional[tuple] = None,
     _pair_masks: Optional[tuple] = None,
+    _waved: Optional[tuple] = None,
+    _arena: Optional[SubrecordArena] = None,
 ) -> MergeOutcome:
     """Attempt to merge two clusters into a joint cluster.
 
@@ -689,17 +745,23 @@ def try_merge(
     ``support_cache`` optionally shares per-cluster liftable supports
     across attempts (the driver passes one per refine call).
     """
-    if max_join_size is not None and cluster_size(left) + cluster_size(right) > max_join_size:
-        return MergeOutcome(None, reason="joint cluster would exceed max_join_size")
-    # `_refining_candidates` lets the driver hand over the intersection it
-    # already computed from its per-cluster virtual-term-chunk cache.
+    # A wave table certifies the pair already cleared the size cap and the
+    # common-candidate check in the pass-wide pre-pass; re-deriving either
+    # here would only repeat those exact computations.
     refining_candidates = _refining_candidates
-    if refining_candidates is None:
-        refining_candidates = (
-            virtual_term_chunk(left) & virtual_term_chunk(right)
-        ) - excluded_terms
-    if not refining_candidates:
-        return MergeOutcome(None, reason="no common term-chunk terms")
+    if _waved is None:
+        if max_join_size is not None and (
+            cluster_size(left) + cluster_size(right) > max_join_size
+        ):
+            return MergeOutcome(None, reason="joint cluster would exceed max_join_size")
+        # `_refining_candidates` lets the driver hand over the intersection
+        # it already computed from its per-cluster virtual-term-chunk cache.
+        if refining_candidates is None:
+            refining_candidates = (
+                virtual_term_chunk(left) & virtual_term_chunk(right)
+            ) - excluded_terms
+        if not refining_candidates:
+            return MergeOutcome(None, reason="no common term-chunk terms")
 
     joint_size = cluster_size(left) + cluster_size(right)
     leaves = _leaves if _leaves is not None else (
@@ -707,43 +769,57 @@ def try_merge(
     )
 
     if use_bitsets:
-        # Eligibility first: a refining term's joint support is the sum of
-        # the members' liftable supports, so terms that cannot reach k --
-        # and pairs with no eligible term at all -- are rejected from two
-        # cached dicts before any joint mask is assembled.
-        supports_left = _liftable_supports(left, support_cache)
-        supports_right = _liftable_supports(right, support_cache)
-        eligible_supports: dict = {}
-        get_left = supports_left.get
-        get_right = supports_right.get
-        for term in refining_candidates:
-            support = get_left(term, 0) + get_right(term, 0)
-            if support >= k:
-                eligible_supports[term] = support
-        if not eligible_supports:
-            return MergeOutcome(
-                None, reason="no k^m-anonymous shared chunk could be built"
-            )
-        eligible = frozenset(eligible_supports)
         restricted = (
             _restricted_parts[0] | _restricted_parts[1]
             if _restricted_parts is not None
             else left.record_chunk_terms() | right.record_chunk_terms()
         )
-        if _pair_masks is not None:
-            # Cluster-level masks from the driver: the pair's joint masks
-            # are two dict probes and a shift per eligible term, and the
-            # eligibility sums double as the selection supports.
-            (masks_left, rows_left), (masks_right, rows_right) = _pair_masks
-            pair_masks = {
-                term: masks_left.get(term, 0)
-                | (masks_right.get(term, 0) << rows_left)
-                for term in eligible_supports
-            }
-            num_rows = rows_left + rows_right
+        wave = None
+        order = None
+        if _waved is not None:
+            # The pass-wide wave already computed this pair's eligible
+            # supports, joint masks, candidate order and pairwise verdicts;
+            # consume them instead of rebuilding any of it.  Only consumed
+            # pairs pay for the mask dict and bit positions -- tables the
+            # walk skips past (their neighbour merged first) stay as the
+            # matrix slice they were born as.
+            row_words, num_rows, eligible_supports, order, bad = _waved
+            pair_masks = dict(zip(order, row_words))
+            bits = {term: position for position, term in enumerate(order)}
+            wave = (bits, bad)
         else:
-            pair_masks = None
-            num_rows = None
+            # Eligibility first: a refining term's joint support is the sum
+            # of the members' liftable supports, so terms that cannot reach
+            # k -- and pairs with no eligible term at all -- are rejected
+            # from two cached dicts before any joint mask is assembled.
+            supports_left = _liftable_supports(left, support_cache)
+            supports_right = _liftable_supports(right, support_cache)
+            eligible_supports = {}
+            get_left = supports_left.get
+            get_right = supports_right.get
+            for term in refining_candidates:
+                support = get_left(term, 0) + get_right(term, 0)
+                if support >= k:
+                    eligible_supports[term] = support
+            if not eligible_supports:
+                return MergeOutcome(
+                    None, reason="no k^m-anonymous shared chunk could be built"
+                )
+            if _pair_masks is not None:
+                # Cluster-level masks from the driver: the pair's joint
+                # masks are two dict probes and a shift per eligible term,
+                # and the eligibility sums double as the selection supports.
+                (masks_left, rows_left), (masks_right, rows_right) = _pair_masks
+                pair_masks = {
+                    term: masks_left.get(term, 0)
+                    | (masks_right.get(term, 0) << rows_left)
+                    for term in eligible_supports
+                }
+                num_rows = rows_left + rows_right
+            else:
+                pair_masks = None
+                num_rows = None
+        eligible = frozenset(eligible_supports)
         # Domains are selected first and the Equation-1 criterion is
         # evaluated straight from the joint-support popcounts; the shared
         # chunks are materialized only for accepted merges (rejected
@@ -752,12 +828,15 @@ def try_merge(
             leaves, eligible, restricted, k, m,
             masks=pair_masks, num_rows=num_rows,
             supports=eligible_supports if pair_masks is not None else None,
+            wave=wave, order=order,
         )
         if failure:
             return MergeOutcome(None, reason=failure)
         if not _criterion_from_supports(supports, placed, leaves, joint_size):
             return MergeOutcome(None, reason="Equation-1 criterion rejected the merge")
-        shared_chunks, placed = _JointMaskBuilder(leaves).build_chunks(domains)
+        shared_chunks, placed = _JointMaskBuilder(leaves, arena=_arena).build_chunks(
+            domains
+        )
     else:
         restricted = left.record_chunk_terms() | right.record_chunk_terms()
         shared_chunks, placed, failure = _build_chunks_reference(
@@ -791,6 +870,8 @@ def _select_chunks_bitset(
     masks: Optional[dict] = None,
     num_rows: Optional[int] = None,
     supports: Optional[dict] = None,
+    wave: Optional[tuple] = None,
+    order: Optional[Sequence] = None,
 ) -> tuple[list[frozenset], frozenset, dict, str]:
     """Shared-chunk domain selection with the Lemma-2 hold-back loop (bitsets).
 
@@ -836,7 +917,8 @@ def _select_chunks_bitset(
                     if term in supports
                 }
             domains, checker, single_round = _select_domains_from_masks(
-                masks, num_rows, round_supports, restricted, k, m
+                masks, num_rows, round_supports, restricted, k, m,
+                wave=wave, order=order,
             )
             have_selection = True
         placed = frozenset().union(*domains) if domains else frozenset()
@@ -980,6 +1062,23 @@ def _ordering_key_ranked(terms: frozenset, rank: dict) -> tuple:
     return (len(ordered) == 0, tuple(ordered))
 
 
+def _repair_key_ranked(key: tuple, touched: frozenset, rank: dict) -> tuple:
+    """Rebuild a cached ordering key after some of its terms moved rank.
+
+    Terms whose support did not change keep their pairwise ``(-tcs,
+    term)`` comparator values, so the cached tuple minus the touched
+    terms is still sorted under the new ranks; each touched term
+    re-enters at its new rank through one binary search instead of the
+    whole cluster re-sorting.  Produces the exact tuple
+    :func:`_ordering_key_ranked` would.
+    """
+    kept = [term for term in key[1] if term not in touched]
+    get = rank.__getitem__
+    for term in sorted(touched, key=get):
+        insort(kept, term, key=get)
+    return (not kept, tuple(kept))
+
+
 def _prefilter(
     left: Cluster,
     right: Cluster,
@@ -1103,6 +1202,42 @@ def _speculative_outcomes(
     return dict(zip(indices, results))
 
 
+class _LazyJointMasks:
+    """Joint liftable masks of a merged pair, combined on first probe.
+
+    ``register_joint`` used to combine both members' mask dicts eagerly --
+    O(|terms|) shifts per applied merge even though later attempts probe
+    only the few terms shared with the next partner's term chunk.  This
+    view defers the combine to ``get`` and memoizes per term; chaining
+    views over earlier views walks the merge tree, but each level is two
+    dict probes and the memo flattens repeated paths.  Placed terms
+    resolve to 0 (they left every member term chunk), mirroring their
+    absence from the eager dict; callers only probe refining candidates,
+    which never include placed terms.
+    """
+
+    __slots__ = ("_left", "_right", "_shift", "_placed", "_memo")
+
+    def __init__(self, left, right, shift: int, placed: frozenset):
+        self._left = left
+        self._right = right
+        self._shift = shift
+        self._placed = placed
+        self._memo: dict = {}
+
+    def get(self, term, default=0):
+        mask = self._memo.get(term)
+        if mask is None:
+            if term in self._placed:
+                mask = 0
+            else:
+                mask = self._left.get(term, 0) | (
+                    self._right.get(term, 0) << self._shift
+                )
+            self._memo[term] = mask
+        return mask if mask else default
+
+
 class _DriverState:
     """Per-refine-call caches over the surviving top-level clusters.
 
@@ -1114,15 +1249,16 @@ class _DriverState:
     re-walking its leaves.
     """
 
-    __slots__ = ("vtcs", "keys", "supports", "leaves", "restricted", "masks")
+    __slots__ = ("vtcs", "keys", "supports", "leaves", "restricted", "masks", "arena")
 
-    def __init__(self):
+    def __init__(self, arena: Optional[SubrecordArena] = None):
         self.vtcs: dict = {}        # id -> virtual term chunk
         self.keys: dict = {}        # id -> ordering key
         self.supports: dict = {}    # id -> liftable supports (term -> count)
         self.leaves: dict = {}      # id -> validated leaf list
         self.restricted: dict = {}  # id -> record/shared-chunk terms
         self.masks: dict = {}       # id -> (liftable masks over own rows, num_rows)
+        self.arena = arena if arena is not None else SubrecordArena()
 
     def seed(self, cluster: Cluster) -> None:
         """Fill the walk-derived entries for a not-yet-seen cluster."""
@@ -1158,14 +1294,10 @@ class _DriverState:
         self.restricted[jid] = self.restricted[lid] | self.restricted[rid] | placed
         masks_left, rows_left = self.masks[lid]
         masks_right, rows_right = self.masks[rid]
-        combined: dict = {}
-        for term, mask in masks_left.items():
-            if term not in placed:
-                combined[term] = mask
-        for term, mask in masks_right.items():
-            if term not in placed:
-                combined[term] = combined.get(term, 0) | (mask << rows_left)
-        self.masks[jid] = (combined, rows_left + rows_right)
+        self.masks[jid] = (
+            _LazyJointMasks(masks_left, masks_right, rows_left, placed),
+            rows_left + rows_right,
+        )
         # _liftable_supports fills a member's entry on the fly if the merge
         # came from a speculative worker (the parent never ran try_merge);
         # computed post-mutation it already excludes the placed terms, so
@@ -1179,6 +1311,131 @@ class _DriverState:
         self.supports[jid] = joint_supports
 
 
+#: Marks a pair the pass-wide wave pre-pass never saw (as opposed to a
+#: ``None`` table entry, which records a pre-pass rejection).
+_WAVE_MISS = object()
+
+
+def _waved_pair_tables(
+    ordered: Sequence[Cluster],
+    state: _DriverState,
+    memo: MergeMemo,
+    k: int,
+    max_join_size: Optional[int],
+    excluded_terms: frozenset,
+) -> Optional[dict]:
+    """Precompute every non-skippable pair's wave verdicts for one pass.
+
+    Mirrors the walk's own gates (memo, prefilter, eligibility) against the
+    pre-pass state -- valid wherever the walk consumes a table because
+    merges only mutate the merged pair's leaves, the same argument that
+    makes :func:`_speculative_outcomes` sound.  All surviving pairs' joint
+    term masks go into one :class:`~repro.core.kernels.WaveBatch`; a single
+    AND + popcount sweep yields each pair's "bad partner" bitmasks.
+
+    Returns ``{pair_index: (row_words, num_rows, eligible_supports,
+    order, bad) | None}``, or ``None`` (no dict at all) when the wave's
+    total rows stay below :func:`~repro.core.kernels.packed_min_rows`
+    (callers fall back to the per-pair path; decisions are identical
+    either way).  ``row_words`` are the pair's joint term masks as plain
+    ints, one per term of ``order`` -- sliced out of the wave matrix, so
+    no per-pair bigint assembly ever runs in Python.  A ``None`` *entry*
+    records a pair the pre-pass already rejected for having no eligible
+    refining term -- the walk records the rejection without re-deriving
+    it.  Every entry (including ``None``) certifies the pair cleared the
+    memo and prefilter gates at pre-pass state, so the walk skips those
+    gates for table pairs.  Pairs whose joint cluster exceeds 64 records
+    are left to the walk: their masks span several uint64 words, where
+    packing costs more than the per-pair bigint checks save.
+    """
+    min_rows = kernels.packed_min_rows()
+    # Cheap bound before any per-pair work: eligible terms rarely
+    # outnumber the pair's records at realistic k, so a wave over these
+    # clusters is very unlikely to reach the crossover when twice their
+    # total rows does not (pure routing -- decisions are unaffected).
+    if 2 * sum(cluster_size(cluster) for cluster in ordered) < min_rows:
+        return None
+    np = kernels.np
+    vtcs = state.vtcs
+    cached_supports = state.supports
+    cluster_masks = state.masks
+    lefts: list[int] = []
+    rights: list[int] = []
+    shifts: list[int] = []
+    sizes: list[int] = []
+    entries: list[tuple] = []
+    tables: dict = {}
+    for index in range(len(ordered) - 1):
+        left, right = ordered[index], ordered[index + 1]
+        if cluster_size(left) + cluster_size(right) > 64:
+            continue
+        if memo.is_rejected(left, right, vtcs):
+            continue
+        reason, candidates = _prefilter(
+            left, right, vtcs[id(left)], vtcs[id(right)], max_join_size, excluded_terms
+        )
+        if reason:
+            continue
+        supports_left = _liftable_supports(left, cached_supports)
+        supports_right = _liftable_supports(right, cached_supports)
+        eligible_supports: dict = {}
+        get_left = supports_left.get
+        get_right = supports_right.get
+        for term in candidates:
+            support = get_left(term, 0) + get_right(term, 0)
+            if support >= k:
+                eligible_supports[term] = support
+        if not eligible_supports:
+            # The walk would reject this pair from the same two cached
+            # dicts before any pairwise check; record the verdict so it
+            # does not have to.
+            tables[index] = None
+            continue
+        masks_left, rows_left = cluster_masks[id(left)]
+        masks_right, rows_right = cluster_masks[id(right)]
+        order = sorted(
+            eligible_supports, key=lambda t: (-eligible_supports[t], t)
+        )
+        get_ml = masks_left.get
+        get_mr = masks_right.get
+        for term in order:
+            lefts.append(get_ml(term, 0))
+            rights.append(get_mr(term, 0))
+        shifts.extend([rows_left] * len(order))
+        sizes.append(len(order))
+        entries.append(
+            (index, len(lefts) - len(order), rows_left + rows_right,
+             eligible_supports, order)
+        )
+    total = len(lefts)
+    if total < min_rows:
+        # Below the crossover the sweep is not worth building, but the
+        # sentinel rejections stand on the cached supports alone.
+        return tables if tables else None
+    # Every pair fits one machine word (<= 64 records), so the whole
+    # wave's joint masks assemble in three vectorized ops -- the
+    # ``left | right << rows_left`` combine never touches Python bigints.
+    matrix = np.fromiter(lefts, dtype=np.uint64, count=total) | (
+        np.fromiter(rights, dtype=np.uint64, count=total)
+        << np.fromiter(shifts, dtype=np.uint64, count=total)
+    )
+    row_words = matrix.tolist()
+    bad_by_group = kernels.bad_pair_masks_from_matrix(
+        matrix.reshape(total, 1), sizes, k
+    )
+    for group, (index, start, num_rows, eligible_supports, order) in enumerate(
+        entries
+    ):
+        tables[index] = (
+            row_words[start : start + len(order)],
+            num_rows,
+            eligible_supports,
+            order,
+            bad_by_group.get(group),
+        )
+    return tables
+
+
 def _merge_pass(
     ordered: Sequence[Cluster],
     state: _DriverState,
@@ -1190,8 +1447,15 @@ def _merge_pass(
     excluded_terms: frozenset,
     use_bitsets: bool,
     stats: RefineStats,
+    wave_tables: Optional[dict] = None,
+    tcs: Optional[Counter] = None,
 ) -> tuple[list[Cluster], bool, set]:
     """One greedy adjacent-pair walk, consuming speculative outcomes if any.
+
+    ``wave_tables`` optionally maps pair indices to the pass-wide wave's
+    precomputed tables (:func:`_waved_pair_tables`); ``tcs`` is the global
+    term-chunk support Counter, updated in place for every applied merge
+    so the driver never recounts it from scratch between passes.
 
     Returns ``(merged, changed, changed_terms)``; ``changed_terms`` are the
     terms whose global term-chunk support moved this pass (the shared terms
@@ -1210,7 +1474,43 @@ def _merge_pass(
             stats.pairs_considered += 1
             joint: Optional[JointCluster] = None
             placed: frozenset = frozenset()
-            if memo.is_rejected(left, right, vtcs):
+            # The walk never reorders mid-pass, so `ordered[index]` is the
+            # exact pair the pre-pass saw: a wave-table entry (even a
+            # pre-rejected None one) certifies the memo and prefilter
+            # gates already passed and the eligibility verdict stands.
+            table = _WAVE_MISS if wave_tables is None else wave_tables.get(
+                index, _WAVE_MISS
+            )
+            if table is not _WAVE_MISS:
+                stats.merges_attempted += 1
+                stats.pairs_waved += 1
+                if table is None:
+                    # Pre-pass verdict: no refining term can reach k.
+                    memo.record_rejection(left, right, vtcs)
+                else:
+                    outcome = try_merge(
+                        left,
+                        right,
+                        k,
+                        m,
+                        max_join_size=max_join_size,
+                        excluded_terms=excluded_terms,
+                        use_bitsets=use_bitsets,
+                        support_cache=state.supports,
+                        _leaves=state.leaves[id(left)] + state.leaves[id(right)],
+                        _restricted_parts=(
+                            state.restricted[id(left)],
+                            state.restricted[id(right)],
+                        ),
+                        _waved=table,
+                        _arena=state.arena,
+                    )
+                    if outcome.joint is not None:
+                        joint = outcome.joint
+                        placed = outcome.refining_terms
+                    else:
+                        memo.record_rejection(left, right, vtcs)
+            elif memo.is_rejected(left, right, vtcs):
                 stats.skipped_by_memo += 1
             else:
                 reason, candidates = _prefilter(
@@ -1229,6 +1529,7 @@ def _merge_pass(
                         joint = _apply_merge(left, right, placed, chunk_payload)
                 else:
                     stats.merges_attempted += 1
+                    stats.wave_fallbacks += 1
                     outcome = try_merge(
                         left,
                         right,
@@ -1245,6 +1546,7 @@ def _merge_pass(
                             state.restricted[id(right)],
                         ),
                         _pair_masks=(state.masks[id(left)], state.masks[id(right)]),
+                        _arena=state.arena,
                     )
                     if outcome.joint is not None:
                         joint = outcome.joint
@@ -1254,7 +1556,19 @@ def _merge_pass(
             if joint is not None:
                 # Global supports only move for terms both members shared
                 # (lifted terms drop out, duplicated counts collapse).
-                changed_terms |= vtcs[id(left)] & vtcs[id(right)]
+                shared = vtcs[id(left)] & vtcs[id(right)]
+                changed_terms |= shared
+                if tcs is not None:
+                    # Incremental term-chunk supports: a shared term's count
+                    # drops by one (two member contributions collapse into
+                    # the joint's), and by two when it was lifted out
+                    # entirely (placed terms leave every term chunk).
+                    # Zero-count entries are pruned so the per-pass rank
+                    # sort only sees live terms.
+                    for term in shared:
+                        tcs[term] -= 2 if term in placed else 1
+                        if tcs[term] <= 0:
+                            del tcs[term]
                 state.register_joint(joint, left, right, placed)
                 merged.append(joint)
                 stats.merges_applied += 1
@@ -1278,6 +1592,7 @@ def refine(
     jobs: int = 1,
     executor=None,
     stats: Optional[RefineStats] = None,
+    arena: Optional[SubrecordArena] = None,
 ) -> list[Cluster]:
     """Algorithm REFINE: iteratively merge adjacent cluster pairs.
 
@@ -1304,6 +1619,10 @@ def refine(
         executor: optionally, an already-running ``ProcessPoolExecutor`` to
             reuse (takes precedence over ``jobs``; not shut down here).
         stats: optional :class:`RefineStats` filled with the run's counters.
+        arena: optionally, a shared :class:`~repro.core.vocab.SubrecordArena`
+            to intern shared-chunk sub-records into (the engine hands over
+            the vocabulary's arena so interned instances survive across
+            windows); a private one is created when omitted.
 
     Returns:
         The refined list of clusters (joint clusters replace merged pairs).
@@ -1326,27 +1645,35 @@ def refine(
     # *ordering key* additionally depends on the global term-chunk
     # supports, which only move for the terms shared by merged pairs --
     # keys are recomputed exactly for clusters touching those.
-    state = _DriverState()
+    state = _DriverState(arena=arena)
     vtcs = state.vtcs
     key_cache = state.keys
     changed_terms: Optional[set] = None  # None = first pass, compute all
+    tcs: Optional[Counter] = None        # maintained incrementally across passes
     pool = executor
     created_pool = None
     if pool is None and jobs > 1:
         workers = effective_jobs(jobs)
         if workers > 1:
             try:
-                # Hand workers the caller's resolved kernel backend (fresh
-                # interpreters only see $REPRO_KERNELS otherwise).
+                # Hand workers the caller's resolved kernel backend and
+                # packed crossover (fresh interpreters only see
+                # $REPRO_KERNELS / $REPRO_PACKED_MIN_ROWS otherwise).
                 created_pool = ProcessPoolExecutor(
                     max_workers=workers,
                     initializer=kernels.set_default,
-                    initargs=(kernels.resolve(None),),
+                    initargs=(kernels.resolve(None), kernels.packed_min_rows()),
                 )
                 pool = created_pool
             except (OSError, RuntimeError):  # pragma: no cover - no subprocess support
                 pool = None
+    pinned = None
     try:
+        # Pin the resolved backend and crossover for the whole call: the
+        # hot path consults them once per pair, and re-reading
+        # $REPRO_PACKED_MIN_ROWS thousands of times is measurable.
+        pinned = kernels.use(kernels.resolve(None), kernels.packed_min_rows())
+        pinned.__enter__()
         for _pass in range(max_passes):
             if len(current) < 2:
                 break
@@ -1354,9 +1681,10 @@ def refine(
             for cluster in current:
                 if id(cluster) not in vtcs:
                     state.seed(cluster)
-            tcs: Counter = Counter()
-            for cluster in current:
-                tcs.update(vtcs[id(cluster)])
+            if tcs is None:
+                tcs = Counter()
+                for cluster in current:
+                    tcs.update(vtcs[id(cluster)])
             rank = {
                 term: position
                 for position, term in enumerate(
@@ -1365,12 +1693,14 @@ def refine(
             }
             for cluster in current:
                 cid = id(cluster)
-                if (
-                    cid not in key_cache
-                    or changed_terms is None
-                    or vtcs[cid] & changed_terms
-                ):
+                if cid not in key_cache or changed_terms is None:
                     key_cache[cid] = _ordering_key_ranked(vtcs[cid], rank)
+                else:
+                    touched = vtcs[cid] & changed_terms
+                    if touched:
+                        key_cache[cid] = _repair_key_ranked(
+                            key_cache[cid], touched, rank
+                        )
             ordered = sorted(current, key=lambda c: key_cache[id(c)])
 
             outcomes = None
@@ -1381,13 +1711,27 @@ def refine(
                 )
                 if outcomes is None:
                     pool = None  # broken pool: serial for the rest of the call
+            wave_tables = None
+            if (
+                outcomes is None
+                and use_bitsets
+                and m == 2
+                and kernels.numpy_available()
+                and kernels.resolve(None) == "numpy"
+            ):
+                wave_tables = _waved_pair_tables(
+                    ordered, state, memo, k, max_join_size, excluded_terms
+                )
             current, changed, changed_terms = _merge_pass(
                 ordered, state, memo, outcomes, k, m, max_join_size,
                 excluded_terms, use_bitsets, stats,
+                wave_tables=wave_tables, tcs=tcs,
             )
             if not changed:
                 break
     finally:
+        if pinned is not None:
+            pinned.__exit__(None, None, None)
         if created_pool is not None:
             created_pool.shutdown()
     return current

@@ -29,6 +29,99 @@ from typing import Optional
 from repro.core.dataset import TransactionDataset
 
 
+class SubrecordArena:
+    """Interning table for shared-chunk sub-records (term frozensets).
+
+    REFINE's chunk materialization used to build one fresh ``frozenset``
+    per published sub-record row, per merge attempt -- the dominant
+    allocation of the phase at default cluster sizes, because joint
+    clusters rebuild the same sub-records every time they merge again.
+    The arena interns each distinct sub-record once: content-equal
+    sub-records share a single canonical instance with a dense int id
+    (``0..len-1``, int32-sized in practice), and the hot path resolves a
+    row *pattern* (tuple of terms) to its canonical instance with one
+    dict probe instead of a frozenset construction.
+
+    :meth:`subrecords_for` is the REFINE kernel: it splits a leaf's
+    covered rows into identical-pattern classes with O(terms x classes)
+    small-int ANDs, interns one sub-record per class, and expands back to
+    per-row sub-records in original record order -- exactly what
+    projecting every record would produce, with allocations proportional
+    to the *distinct* patterns instead of the rows.
+    """
+
+    __slots__ = ("_by_pattern", "_ids", "_table")
+
+    def __init__(self):
+        self._by_pattern: dict[tuple, frozenset] = {}
+        self._ids: dict[frozenset, int] = {}
+        self._table: list[frozenset] = []
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __repr__(self) -> str:
+        return f"SubrecordArena(|S|={len(self._table)})"
+
+    def intern(self, subrecord: Iterable) -> int:
+        """Return the dense id of ``subrecord``, interning it on first sight."""
+        subrecord = frozenset(subrecord)
+        sid = self._ids.get(subrecord)
+        if sid is None:
+            sid = len(self._table)
+            self._ids[subrecord] = sid
+            self._table.append(subrecord)
+        return sid
+
+    def id_of(self, subrecord: Iterable) -> Optional[int]:
+        """The id of ``subrecord`` or ``None`` when it was never interned."""
+        return self._ids.get(frozenset(subrecord))
+
+    def subrecord(self, sid: int) -> frozenset:
+        """The canonical sub-record instance for id ``sid``."""
+        return self._table[sid]
+
+    def _interned(self, pattern: tuple) -> frozenset:
+        """Canonical instance for a term-tuple row pattern (one dict probe hot)."""
+        sub = self._by_pattern.get(pattern)
+        if sub is None:
+            sub = self._table[self.intern(pattern)]
+            self._by_pattern[pattern] = sub
+        return sub
+
+    def subrecords_for(
+        self, term_masks: Sequence[tuple], or_mask: int, count: int
+    ) -> list[frozenset]:
+        """Interned sub-records of the rows covered by ``or_mask``.
+
+        ``term_masks`` are ``(term, row_bitmask)`` pairs; every covered row
+        yields the frozenset of terms whose mask contains it, in increasing
+        row order.  Rows are first partitioned into identical-pattern
+        classes (rows sharing the exact same term subset), so only one
+        canonical sub-record is resolved per class.
+        """
+        classes: list[tuple[int, tuple]] = [(or_mask, ())]
+        for term, mask in term_masks:
+            split: list[tuple[int, tuple]] = []
+            for rows, pattern in classes:
+                inside = rows & mask
+                if inside:
+                    split.append((inside, pattern + (term,)))
+                    rows ^= inside
+                if rows:
+                    split.append((rows, pattern))
+            classes = split
+        if len(classes) == 1:
+            return [self._interned(classes[0][1])] * count
+        ordered: list[tuple[int, frozenset]] = []
+        for rows, pattern in classes:
+            sub = self._interned(pattern)
+            for row in iter_mask_bits(rows):
+                ordered.append((row, sub))
+        ordered.sort(key=lambda entry: entry[0])
+        return [sub for _row, sub in ordered]
+
+
 class Vocabulary:
     """Deterministic str<->int interning table.
 
@@ -36,13 +129,25 @@ class Vocabulary:
     makes encoded artifacts reproducible for a fixed input ordering.
     """
 
-    __slots__ = ("_ids", "_terms")
+    __slots__ = ("_ids", "_terms", "_subrecord_arena")
 
     def __init__(self, terms: Iterable[str] = ()):
         self._ids: dict[str, int] = {}
         self._terms: list[str] = []
+        self._subrecord_arena: Optional[SubrecordArena] = None
         for term in terms:
             self.intern(term)
+
+    def subrecord_arena(self) -> SubrecordArena:
+        """The vocabulary-lifetime sub-record arena, created on first use.
+
+        REFINE interns shared-chunk sub-records here so canonical
+        instances are reused across merge attempts -- and, because the
+        streaming executor keeps one vocabulary per shard, across windows.
+        """
+        if self._subrecord_arena is None:
+            self._subrecord_arena = SubrecordArena()
+        return self._subrecord_arena
 
     def __len__(self) -> int:
         return len(self._terms)

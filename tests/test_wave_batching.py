@@ -1,0 +1,397 @@
+"""Cross-cluster wave batching: parity, crossover resolution, and counters.
+
+The wave kernels (:class:`repro.core.kernels.WaveBatch`,
+:func:`repro.core.vertical.vertical_partition_wave`, the REFINE pair-wave
+pre-pass and :func:`repro.core.anonymity.km_anonymous_batch`) promise
+**bit-for-bit identical decisions** to the per-cluster bigint path and the
+string reference.  This suite is that promise's enforcement:
+
+* randomized brute-force parity of ``WaveBatch`` pairwise verdicts and
+  whole-group k^m verdicts,
+* ``packed_min_rows`` resolution semantics (explicit choice > forced >
+  environment > module default) and validation,
+* VERPART wave parity against :func:`vertical_partition_fast`, including
+  ragged waves mixing singleton and thousand-row clusters,
+* end-to-end refine parity (waved vs per-cluster vs string backend) on the
+  three dataset scenarios, with the wave/fallback counter invariant,
+* graceful numpy-absent fallback, and
+* ``SubrecordArena`` interning semantics.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import kernels
+from repro.core.anonymity import is_km_anonymous, km_anonymous_batch
+from repro.core.dataset import TransactionDataset
+from repro.core.engine import AnonymizationParams, Disassociator
+from repro.core.horizontal import horizontal_partition
+from repro.core.vertical import vertical_partition_fast, vertical_partition_wave
+from repro.core.vocab import SubrecordArena
+from repro.datasets.quest import generate_quest
+from repro.datasets.scenarios import generate_clickstream, generate_zipf_basket
+from repro.exceptions import ParameterError
+
+requires_numpy = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy >= 2.0 not importable"
+)
+
+SCENARIOS = ("quest", "zipf", "clickstream")
+
+
+def _scenario_dataset(name: str, seed: int) -> TransactionDataset:
+    if name == "quest":
+        return generate_quest(
+            num_transactions=300, domain_size=90, avg_transaction_size=5.0, seed=seed
+        )
+    if name == "zipf":
+        return generate_zipf_basket(
+            num_transactions=300, domain_size=120, avg_basket_size=4.0, seed=seed
+        )
+    if name == "clickstream":
+        return generate_clickstream(
+            num_sessions=300,
+            num_pages=120,
+            num_sections=5,
+            avg_session_length=4.0,
+            seed=seed,
+        )
+    raise AssertionError(name)
+
+
+def _random_group(rng: random.Random, rows: int, terms: int) -> list[int]:
+    masks = []
+    for _ in range(terms):
+        mask = 0
+        for row in range(rows):
+            if rng.random() < rng.choice((0.1, 0.4, 0.8)):
+                mask |= 1 << row
+        if mask:
+            masks.append(mask)
+    return masks
+
+
+def _brute_bad_pairs(masks: list[int], k: int) -> list[int]:
+    bad = [0] * len(masks)
+    for i, left in enumerate(masks):
+        for j in range(i + 1, len(masks)):
+            support = (left & masks[j]).bit_count()
+            if 0 < support < k:
+                bad[i] |= 1 << j
+                bad[j] |= 1 << i
+    return bad
+
+
+# --------------------------------------------------------------------------- #
+# WaveBatch kernel parity
+# --------------------------------------------------------------------------- #
+@requires_numpy
+class TestWaveBatch:
+    def test_bad_pair_masks_match_brute_force(self):
+        rng = random.Random(0x57A7E)
+        for trial in range(60):
+            k = rng.randint(2, 6)
+            wave = kernels.WaveBatch(k)
+            groups = []
+            for _ in range(rng.randint(1, 8)):
+                rows = rng.choice((1, 2, 5, 30, 70, 150))
+                masks = _random_group(rng, rows, rng.randint(0, 7))
+                wave.add_group(masks, rows)
+                groups.append(masks)
+            by_group = wave.bad_pair_masks()
+            for index, masks in enumerate(groups):
+                expected = _brute_bad_pairs(masks, k)
+                got = by_group.get(index)
+                if got is None:
+                    # Absent group == no conflicting pair anywhere in it.
+                    assert not any(expected), f"trial {trial} group {index}"
+                else:
+                    assert list(got) == expected, f"trial {trial} group {index}"
+
+    def test_group_km_verdicts_match_is_km_anonymous(self):
+        rng = random.Random(0xBEEF)
+        for _ in range(40):
+            k = rng.randint(2, 5)
+            chunks = []
+            for _ in range(rng.randint(1, 6)):
+                rows = rng.randint(1, 40)
+                records = []
+                for _ in range(rows):
+                    size = rng.randint(1, 5)
+                    records.append(frozenset(f"t{rng.randint(0, 12)}" for _ in range(size)))
+                chunks.append(records)
+            with kernels.use("numpy", 1):
+                batched = km_anonymous_batch(chunks, k, 2)
+            with kernels.use("python"):
+                expected = [is_km_anonymous(records, k, 2) for records in chunks]
+            assert batched == expected
+
+    def test_empty_wave(self):
+        wave = kernels.WaveBatch(3)
+        assert len(wave) == 0
+        assert wave.bad_pair_masks() == {}
+        assert wave.group_km_verdicts() == []
+
+
+# --------------------------------------------------------------------------- #
+# packed_min_rows resolution and validation
+# --------------------------------------------------------------------------- #
+class TestPackedMinRows:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(kernels.PACKED_MIN_ROWS_ENV, raising=False)
+        assert kernels.packed_min_rows() == kernels.PACKED_MIN_ROWS
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(kernels.PACKED_MIN_ROWS_ENV, "7")
+        assert kernels.packed_min_rows() == 7
+
+    def test_explicit_choice_wins(self, monkeypatch):
+        monkeypatch.setenv(kernels.PACKED_MIN_ROWS_ENV, "7")
+        assert kernels.packed_min_rows(3) == 3
+
+    def test_use_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.PACKED_MIN_ROWS_ENV, "7")
+        with kernels.use(None, 5):
+            assert kernels.packed_min_rows() == 5
+        assert kernels.packed_min_rows() == 7
+
+    def test_set_default_installs_override(self, monkeypatch):
+        monkeypatch.delenv(kernels.PACKED_MIN_ROWS_ENV, raising=False)
+        kernels.set_default(None, 9)
+        try:
+            assert kernels.packed_min_rows() == 9
+        finally:
+            kernels.set_default(None, None)
+        assert kernels.packed_min_rows() == kernels.PACKED_MIN_ROWS
+
+    @pytest.mark.parametrize("bad", [0, -5, 2.5, "many", None])
+    def test_validation_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            kernels.validate_min_rows(bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, "soon"])
+    def test_params_field_validated(self, bad):
+        with pytest.raises(ParameterError):
+            AnonymizationParams(packed_min_rows=bad)
+
+    def test_params_field_lands_in_counters(self):
+        dataset = generate_quest(
+            num_transactions=60, domain_size=30, avg_transaction_size=3.0, seed=3
+        )
+        engine = Disassociator(AnonymizationParams(k=3, packed_min_rows=123))
+        engine.anonymize(dataset)
+        assert engine.last_report.counters()["packed_min_rows"] == 123
+
+    def test_env_bad_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernels.PACKED_MIN_ROWS_ENV, "zero")
+        with pytest.raises(ParameterError):
+            kernels.packed_min_rows()
+
+
+# --------------------------------------------------------------------------- #
+# VERPART wave parity
+# --------------------------------------------------------------------------- #
+@requires_numpy
+class TestVerticalWaveParity:
+    def _partitions(self, seed: int):
+        dataset = _scenario_dataset(SCENARIOS[seed % 3], seed)
+        return horizontal_partition(dataset, max_cluster_size=30)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_wave_matches_per_cluster(self, seed):
+        partitions = self._partitions(seed)
+        k = (2, 3, 5, 7)[seed % 4]
+        with kernels.use("numpy", 1):
+            stats = kernels.WaveStats()
+            waved = vertical_partition_wave(partitions, k, 2, stats=stats)
+        serial = [
+            vertical_partition_fast(part, k, 2, label=f"P{index}")
+            for index, part in enumerate(partitions)
+        ]
+        assert stats.batches == 1 and stats.fallbacks == 0
+        assert stats.groups == len(partitions)
+        for got, expected in zip(waved, serial):
+            assert got.cluster.to_dict() == expected.cluster.to_dict()
+
+    def test_ragged_wave(self):
+        # Mixed singleton / tiny / large clusters in one wave: the padding
+        # and offset bookkeeping must not leak verdicts across groups.
+        rng = random.Random(11)
+        partitions = []
+        for rows in (1, 1, 2, 2000, 3, 37, 1, 450):
+            partitions.append(
+                [
+                    frozenset(f"w{rng.randint(0, 25)}" for _ in range(rng.randint(1, 6)))
+                    for _ in range(rows)
+                ]
+            )
+        with kernels.use("numpy", 1):
+            waved = vertical_partition_wave(partitions, 5, 2)
+        serial = [
+            vertical_partition_fast(part, 5, 2, label=f"P{index}")
+            for index, part in enumerate(partitions)
+        ]
+        for got, expected in zip(waved, serial):
+            assert got.cluster.to_dict() == expected.cluster.to_dict()
+
+    def test_below_crossover_falls_back(self):
+        partitions = self._partitions(0)
+        total = sum(len(part) for part in partitions)
+        with kernels.use("numpy", total + 1):
+            stats = kernels.WaveStats()
+            waved = vertical_partition_wave(partitions, 5, 2, stats=stats)
+        assert stats.batches == 0
+        assert stats.fallbacks == len(partitions)
+        serial = [
+            vertical_partition_fast(part, 5, 2, label=f"P{index}")
+            for index, part in enumerate(partitions)
+        ]
+        for got, expected in zip(waved, serial):
+            assert got.cluster.to_dict() == expected.cluster.to_dict()
+
+    def test_m3_falls_back(self):
+        partitions = self._partitions(1)
+        with kernels.use("numpy", 1):
+            stats = kernels.WaveStats()
+            waved = vertical_partition_wave(partitions, 3, 3, stats=stats)
+        assert stats.batches == 0 and stats.fallbacks == len(partitions)
+        serial = [
+            vertical_partition_fast(part, 3, 3, label=f"P{index}")
+            for index, part in enumerate(partitions)
+        ]
+        for got, expected in zip(waved, serial):
+            assert got.cluster.to_dict() == expected.cluster.to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end refine parity + counters
+# --------------------------------------------------------------------------- #
+class TestPipelineWaveParity:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_waved_vs_per_cluster_vs_string(self, scenario):
+        dataset = _scenario_dataset(scenario, seed=23)
+        reference = Disassociator(
+            AnonymizationParams(kernels="python")
+        ).anonymize(dataset)
+        per_cluster = Disassociator(
+            AnonymizationParams(packed_min_rows=1 << 30)
+        ).anonymize(dataset)
+        assert per_cluster.to_dict() == reference.to_dict()
+        string = Disassociator(
+            AnonymizationParams(backend="string")
+        ).anonymize(dataset)
+        assert string.to_dict() == reference.to_dict()
+        if kernels.numpy_available():
+            waved = Disassociator(
+                AnonymizationParams(kernels="numpy", packed_min_rows=1)
+            ).anonymize(dataset)
+            assert waved.to_dict() == reference.to_dict()
+
+    @requires_numpy
+    def test_wave_counters_cover_all_attempts(self):
+        dataset = _scenario_dataset("quest", seed=5)
+        engine = Disassociator(
+            AnonymizationParams(kernels="numpy", packed_min_rows=1)
+        )
+        engine.anonymize(dataset)
+        counters = engine.last_report.counters()
+        assert counters["verpart_wave_clusters"] > 0
+        assert counters["verpart_wave_fallbacks"] == 0
+        assert counters["refine_pairs_waved"] > 0
+        # Every serial merge attempt is either waved or an accounted fallback.
+        assert (
+            counters["refine_pairs_waved"] + counters["refine_wave_fallbacks"]
+            == counters["refine_merges_attempted"]
+        )
+
+    def test_numpy_absent_fallback(self, monkeypatch):
+        monkeypatch.setattr(kernels, "np", None)
+        dataset = _scenario_dataset("zipf", seed=9)
+        engine = Disassociator(AnonymizationParams(packed_min_rows=1))
+        published = engine.anonymize(dataset)
+        counters = engine.last_report.counters()
+        assert counters["verpart_wave_clusters"] == 0
+        assert counters["refine_pairs_waved"] == 0
+        reference = Disassociator(
+            AnonymizationParams(kernels="python")
+        ).anonymize(dataset)
+        assert published.to_dict() == reference.to_dict()
+
+    @requires_numpy
+    def test_km_anonymous_batch_parity_random(self):
+        rng = random.Random(31)
+        chunks = []
+        for _ in range(25):
+            rows = rng.randint(1, 60)
+            chunks.append(
+                [
+                    frozenset(f"b{rng.randint(0, 20)}" for _ in range(rng.randint(1, 4)))
+                    for _ in range(rows)
+                ]
+            )
+        for k in (2, 4, 6):
+            with kernels.use("numpy", 1):
+                batched = km_anonymous_batch(chunks, k, 2)
+            serial = [is_km_anonymous(records, k, 2) for records in chunks]
+            assert batched == serial
+
+
+# --------------------------------------------------------------------------- #
+# SubrecordArena
+# --------------------------------------------------------------------------- #
+class TestSubrecordArena:
+    def test_interning_is_canonical(self):
+        arena = SubrecordArena()
+        first = arena.intern(("a", "b"))
+        again = arena.intern(frozenset(("b", "a")))
+        assert first == again
+        assert len(arena) == 1
+        assert arena.subrecord(first) == frozenset(("a", "b"))
+        assert arena.id_of(("a", "b")) == first
+        assert arena.id_of(("z",)) is None
+
+    def test_subrecords_for_matches_projection(self):
+        rng = random.Random(17)
+        arena = SubrecordArena()
+        for _ in range(50):
+            rows = rng.randint(1, 40)
+            terms = [f"t{i}" for i in range(rng.randint(1, 6))]
+            term_masks = []
+            row_sets: list[set] = [set() for _ in range(rows)]
+            for term in terms:
+                mask = 0
+                for row in range(rows):
+                    if rng.random() < 0.5:
+                        mask |= 1 << row
+                        row_sets[row].add(term)
+                if mask:
+                    term_masks.append((term, mask))
+            or_mask = 0
+            for _term, mask in term_masks:
+                or_mask |= mask
+            covered = [row for row in range(rows) if row_sets[row]]
+            expected = [frozenset(row_sets[row]) for row in covered]
+            got = arena.subrecords_for(term_masks, or_mask, len(covered))
+            assert got == expected
+
+    def test_subrecords_for_shares_instances(self):
+        arena = SubrecordArena()
+        # Three rows, all with the identical pattern {x, y}.
+        term_masks = [("x", 0b111), ("y", 0b111)]
+        subs = arena.subrecords_for(term_masks, 0b111, 3)
+        assert len(subs) == 3
+        assert subs[0] is subs[1] is subs[2]
+        # The same pattern from a later call resolves to the same instance.
+        again = arena.subrecords_for(term_masks, 0b111, 3)
+        assert again[0] is subs[0]
+
+    def test_vocabulary_arena_is_lazy_and_stable(self):
+        from repro.core.vocab import Vocabulary
+
+        vocab = Vocabulary()
+        arena = vocab.subrecord_arena()
+        assert isinstance(arena, SubrecordArena)
+        assert vocab.subrecord_arena() is arena
