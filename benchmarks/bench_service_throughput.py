@@ -1,0 +1,191 @@
+"""Service throughput at 1 vs N workers through the submit/HTTP path.
+
+The PR-7 scenario: a deployment answering a burst of concurrent
+anonymization requests.  The benchmark drives the same burst of QUEST
+requests through the queued ``submit`` path twice -- once with a
+single-worker service, once with ``workers = 2`` -- and records requests
+per second plus p50/p99 request latency from the service's own
+``stats()`` histograms.  A third section runs part of the burst through
+the live HTTP front door (``POST /anonymize``) and checks the response
+publication bit-for-bit against ``service.run()``.
+
+What the gate asserts on this 1-CPU container:
+
+* ``outputs_identical`` -- every publication (single-worker,
+  multi-worker, HTTP) is bit-for-bit identical.  The worker pool and the
+  front door must never change results.
+* ``multi_worker_ok`` -- multi-worker throughput is no worse than the
+  single-worker baseline within ``MULTI_WORKER_SLACK``.  The pipeline is
+  GIL-bound pure Python, so on one CPU two workers buy overlap of the
+  small non-GIL slices at best; the honest claim is "no regression", not
+  "2x".  The slack factor (0.70, i.e. multi >= 0.70x single) absorbs
+  scheduler noise on the shared CI box; the measured ratio is recorded
+  as ``multi_worker_rps_ratio`` so drift stays visible in the JSON diff.
+
+Timings land in ``BENCH_service_throughput.json`` and are gated by
+``perf_gate.py`` like every other benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.datasets.quest import generate_quest
+from repro.service import AnonymizationService, ServiceConfig
+
+from benchmarks.conftest import emit, run_once, write_bench_json
+
+#: The request burst: NUM_REQUESTS datasets, distinct seeds so the vocab
+#: keeps growing across requests (the shared-interning contention case).
+NUM_REQUESTS = 8
+QUEST_RECORDS = 400
+QUEST_DOMAIN = 120
+QUEST_AVG_LEN = 5.0
+
+#: Requests round-tripped through the HTTP front door.
+HTTP_REQUESTS = 3
+
+#: Anonymization parameters (paper defaults at burst-friendly scale).
+BASE_CONFIG = ServiceConfig(k=5, m=2, max_cluster_size=30, max_pending=NUM_REQUESTS)
+
+#: Worker counts compared by the benchmark.
+MULTI_WORKERS = 2
+
+#: Acceptance floor: multi-worker req/s >= slack * single-worker req/s.
+#: On a 1-CPU, GIL-bound container the pool cannot speed the burst up;
+#: the gate guards against the pool *slowing it down* (lock contention,
+#: queue overhead), with 30% headroom for shared-runner scheduler noise.
+MULTI_WORKER_SLACK = 0.70
+
+
+def _burst():
+    """The deterministic request burst shared by every side."""
+    return [
+        generate_quest(
+            num_transactions=QUEST_RECORDS,
+            domain_size=QUEST_DOMAIN,
+            avg_transaction_size=QUEST_AVG_LEN,
+            seed=seed,
+        )
+        for seed in range(NUM_REQUESTS)
+    ]
+
+
+def _serve_burst(workers: int, datasets) -> dict:
+    """Push the whole burst through one service; return timing + outputs."""
+    config = BASE_CONFIG.with_overrides(workers=workers)
+    with AnonymizationService(config) as service:
+        start = time.perf_counter()
+        jobs = [service.submit(dataset, mode="batch") for dataset in datasets]
+        results = [job.result(timeout=600) for job in jobs]
+        total_seconds = time.perf_counter() - start
+        stats = service.stats()
+    latency = stats["latency"]["request_seconds"]
+    return {
+        "workers": workers,
+        "total_seconds": total_seconds,
+        "requests_per_second": len(datasets) / total_seconds,
+        "p50_seconds": latency["p50_seconds"],
+        "p99_seconds": latency["p99_seconds"],
+        "queue_wait_p99_seconds": stats["latency"]["queue_wait_seconds"][
+            "p99_seconds"
+        ],
+        "worker_utilization": stats["workers"]["utilization"],
+        "publications": [result.to_dict() for result in results],
+    }
+
+
+def _serve_http(datasets, expected) -> dict:
+    """Round-trip part of the burst through the live HTTP front door."""
+    import json
+    import urllib.request
+
+    from repro.service import ServiceHTTPServer
+
+    server = ServiceHTTPServer(
+        AnonymizationService(BASE_CONFIG.with_overrides(workers=MULTI_WORKERS)),
+        port=0,
+    )
+    server.start()
+    try:
+        seconds = []
+        identical = True
+        for dataset, want in zip(datasets, expected):
+            body = json.dumps(
+                {"records": [sorted(record) for record in dataset], "mode": "batch"}
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                server.url + "/anonymize",
+                data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            start = time.perf_counter()
+            with urllib.request.urlopen(request, timeout=600) as response:
+                payload = json.load(response)
+            seconds.append(time.perf_counter() - start)
+            identical = identical and payload["publication"] == want
+    finally:
+        server.close(drain=False)
+    return {
+        "requests": len(seconds),
+        "request_seconds": seconds,
+        "outputs_identical": identical,
+    }
+
+
+def run_throughput_comparison() -> dict:
+    """Serve the burst at 1 and N workers; return the comparison payload."""
+    datasets = _burst()
+    single = _serve_burst(1, datasets)
+    multi = _serve_burst(MULTI_WORKERS, datasets)
+    http = _serve_http(datasets[:HTTP_REQUESTS], single["publications"])
+
+    outputs_identical = (
+        single["publications"] == multi["publications"]
+        and http["outputs_identical"]
+    )
+    ratio = multi["requests_per_second"] / single["requests_per_second"]
+    payload = {
+        "dataset": {
+            "generator": "QUEST",
+            "records": QUEST_RECORDS,
+            "domain": QUEST_DOMAIN,
+            "avg_record_length": QUEST_AVG_LEN,
+            "seeds": list(range(NUM_REQUESTS)),
+        },
+        "params": "k=5, m=2, max_cluster_size=30, refine+verify",
+        "num_requests": NUM_REQUESTS,
+        "cpu_count": os.cpu_count(),
+        "single_worker": {k: v for k, v in single.items() if k != "publications"},
+        "multi_worker": {k: v for k, v in multi.items() if k != "publications"},
+        "http": http,
+        "multi_worker_rps_ratio": ratio,
+        "multi_worker_slack": MULTI_WORKER_SLACK,
+        "multi_worker_ok": ratio >= MULTI_WORKER_SLACK,
+        "outputs_identical": outputs_identical,
+    }
+    return payload
+
+
+def test_service_throughput_one_vs_n_workers(benchmark):
+    """N-worker throughput must not regress vs 1 worker; outputs identical."""
+    payload = run_once(benchmark, run_throughput_comparison)
+    emit(
+        f"Service throughput, {NUM_REQUESTS} queued requests (QUEST)",
+        [
+            {
+                "workers": side["workers"],
+                "req_per_s": round(side["requests_per_second"], 3),
+                "p50_s": round(side["p50_seconds"], 4),
+                "p99_s": round(side["p99_seconds"], 4),
+            }
+            for side in (payload["single_worker"], payload["multi_worker"])
+        ],
+        "service layer (not in the paper): worker pool must preserve "
+        "publications bit-for-bit and not regress throughput on 1 CPU.",
+    )
+    write_bench_json("service_throughput", payload)
+    assert payload["outputs_identical"]
+    assert payload["multi_worker_ok"]

@@ -14,6 +14,10 @@ Sub-commands:
   click-stream, or a POS/WV1/WV2 proxy) as a transaction file.
 * ``audit``       -- independently re-check the k^m-anonymity of a published
   JSON.
+* ``serve``       -- run the HTTP front door: a long-lived multi-worker
+  :class:`~repro.service.AnonymizationService` behind ``POST /anonymize``,
+  ``GET /jobs/<id>``, ``GET /stats`` and ``GET /healthz`` (see
+  ``docs/OPERATIONS.md`` for deployment guidance).
 
 Examples::
 
@@ -23,6 +27,7 @@ Examples::
         --max-records-in-memory 20000 --output huge.published.json
     repro evaluate pos.txt pos.published.json
     repro reconstruct pos.published.json --seed 3 --output world.txt
+    repro serve --port 8350 --workers 2 --max-pending 64
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from repro.datasets.scenarios import SCENARIOS
 from repro.exceptions import ReproError
 from repro.experiments.harness import ExperimentConfig, evaluate as evaluate_metrics
 from repro.service import AnonymizationRequest, AnonymizationService, ServiceConfig
+from repro.service.http import DEFAULT_HOST, DEFAULT_PORT, ServiceHTTPServer
 from repro.stream import DEFAULT_MAX_RECORDS_IN_MEMORY, DEFAULT_SHARDS, STRATEGIES
 
 
@@ -146,6 +152,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     audit_cmd = subparsers.add_parser("audit", help="re-check a published JSON")
     audit_cmd.add_argument("input", help="published JSON path")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve anonymization requests over HTTP (the front door)"
+    )
+    serve.add_argument("--host", default=DEFAULT_HOST, help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="service worker threads (each with its own warm engine); "
+        "defaults to $REPRO_SERVICE_WORKERS, then 1",
+    )
+    serve.add_argument("--k", type=int, default=None)
+    serve.add_argument("--m", type=int, default=None)
+    serve.add_argument("--max-cluster-size", type=int, default=None)
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="per-engine worker processes for the VERPART/REFINE fan-outs",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="job-queue bound; beyond it POST /anonymize answers 429",
+    )
+    serve.add_argument(
+        "--kernels", choices=["auto", "python", "numpy"], default=None
+    )
+    serve.add_argument(
+        "--no-drain",
+        action="store_true",
+        help="on shutdown, cancel queued jobs instead of draining them",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request"
+    )
     return parser
 
 
@@ -231,12 +278,55 @@ def _cmd_audit(args) -> int:
     return 0 if report.ok else 1
 
 
+def _serve_config(args) -> ServiceConfig:
+    # Environment first (REPRO_SERVICE_*), explicit flags override: the
+    # same precedence every 12-factor deployment expects.
+    config = ServiceConfig.from_env()
+    overrides = {
+        name: value
+        for name, value in [
+            ("workers", args.workers),
+            ("k", args.k),
+            ("m", args.m),
+            ("max_cluster_size", args.max_cluster_size),
+            ("jobs", args.jobs),
+            ("max_pending", args.max_pending),
+            ("kernels", args.kernels),
+        ]
+        if value is not None
+    }
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _cmd_serve(args) -> int:
+    config = _serve_config(args)
+    drain = not args.no_drain
+    service = AnonymizationService(config)
+    server = ServiceHTTPServer(
+        service, args.host, args.port, quiet=not args.verbose
+    )
+    print(
+        f"repro serve: listening on {server.url} "
+        f"(workers={config.workers}, jobs={config.jobs}, "
+        f"max_pending={config.max_pending}, k={config.k}, m={config.m})"
+    )
+    print("endpoints: POST /anonymize, GET /jobs/<id>, GET /stats, GET /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print(f"\nshutting down ({'draining' if drain else 'cancelling'} queued jobs)")
+    finally:
+        server.close(drain=drain)
+    return 0
+
+
 _COMMANDS = {
     "anonymize": _cmd_anonymize,
     "reconstruct": _cmd_reconstruct,
     "evaluate": _cmd_evaluate,
     "generate": _cmd_generate,
     "audit": _cmd_audit,
+    "serve": _cmd_serve,
 }
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import weakref
 from collections import Counter
 from collections.abc import Iterable, Sequence
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.dataset import TransactionDataset
 
@@ -129,14 +129,47 @@ class Vocabulary:
     makes encoded artifacts reproducible for a fixed input ordering.
     """
 
-    __slots__ = ("_ids", "_terms", "_subrecord_arena")
+    __slots__ = ("_ids", "_terms", "_subrecord_arena", "_lock", "_thread_arenas")
 
     def __init__(self, terms: Iterable[str] = ()):
         self._ids: dict[str, int] = {}
         self._terms: list[str] = []
         self._subrecord_arena: Optional[SubrecordArena] = None
+        #: Interning lock, present only on shared vocabularies (see
+        #: :meth:`make_shared`); ``None`` keeps single-threaded interning
+        #: lock-free.
+        self._lock: Optional[Any] = None
+        self._thread_arenas: Optional[Any] = None
         for term in terms:
             self.intern(term)
+
+    def make_shared(self) -> "Vocabulary":
+        """Make this vocabulary safe to share across concurrent encoders.
+
+        Installs an interning lock -- :meth:`intern`, :meth:`encode_terms`
+        and the inlined loop of :meth:`EncodedDataset.from_dataset` hold it
+        while assigning ids -- and switches :meth:`subrecord_arena` to one
+        arena *per thread* (arena interning only canonicalizes content-equal
+        sub-records, so per-thread arenas never change any output; a shared
+        one would need a lock inside REFINE's hot loop).
+
+        Interning stays append-only and id-insensitive decisions still break
+        ties on the decoded string, so concurrent interleavings cannot
+        change any publication -- the same output-invariance the streaming
+        executor relies on.  The service layer calls this once at
+        construction when it runs more than one worker.  Idempotent.
+        """
+        import threading
+
+        if self._lock is None:
+            self._lock = threading.RLock()
+            self._thread_arenas = threading.local()
+        return self
+
+    @property
+    def lock(self):
+        """The interning lock of a shared vocabulary, or ``None``."""
+        return self._lock
 
     def subrecord_arena(self) -> SubrecordArena:
         """The vocabulary-lifetime sub-record arena, created on first use.
@@ -144,7 +177,15 @@ class Vocabulary:
         REFINE interns shared-chunk sub-records here so canonical
         instances are reused across merge attempts -- and, because the
         streaming executor keeps one vocabulary per shard, across windows.
+        On a shared vocabulary (:meth:`make_shared`) the arena is
+        per-thread instead, so concurrent REFINE phases never contend.
         """
+        if self._lock is not None:
+            arenas = self._thread_arenas
+            arena = getattr(arenas, "arena", None)
+            if arena is None:
+                arena = arenas.arena = SubrecordArena()
+            return arena
         if self._subrecord_arena is None:
             self._subrecord_arena = SubrecordArena()
         return self._subrecord_arena
@@ -161,6 +202,18 @@ class Vocabulary:
     def intern(self, term) -> int:
         """Return the id of ``term``, assigning a fresh one on first sight."""
         term = str(term)
+        tid = self._ids.get(term)
+        if tid is None:
+            if self._lock is not None:
+                with self._lock:
+                    return self._intern_locked(term)
+            tid = len(self._terms)
+            self._ids[term] = tid
+            self._terms.append(term)
+        return tid
+
+    def _intern_locked(self, term: str) -> int:
+        """Assign (or find) an id while already holding the interning lock."""
         tid = self._ids.get(term)
         if tid is None:
             tid = len(self._terms)
@@ -230,6 +283,7 @@ class EncodedDataset:
             vocab = Vocabulary()
         ids = vocab._ids
         terms = vocab._terms
+        locked = vocab._lock is not None
         records = []
         append = records.append
         for record in dataset:
@@ -237,12 +291,18 @@ class EncodedDataset:
             for term in record:
                 tid = ids.get(term)
                 if tid is None:
-                    term = str(term)
-                    tid = ids.get(term)
-                    if tid is None:
-                        tid = len(terms)
-                        ids[term] = tid
-                        terms.append(term)
+                    if locked:
+                        # Shared vocabulary (service worker pool): misses
+                        # take the interning lock; hits stay lock-free
+                        # (dict reads are safe against concurrent inserts).
+                        tid = vocab.intern(term)
+                    else:
+                        term = str(term)
+                        tid = ids.get(term)
+                        if tid is None:
+                            tid = len(terms)
+                            ids[term] = tid
+                            terms.append(term)
                 encoded.append(tid)
             append(frozenset(encoded))
         return cls(vocab, records)

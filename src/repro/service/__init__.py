@@ -12,12 +12,21 @@ The public surface of the service layer:
   loaders.
 * :class:`AnonymizationRequest` / :class:`PublicationResult` -- the uniform
   request and result model covering batch, streaming and file inputs.
+* :class:`ServiceHTTPServer` (:mod:`repro.service.http`) -- the HTTP front
+  door behind ``repro serve``: ``POST /anonymize`` (sync + async jobs),
+  ``GET /jobs/<id>``, ``GET /stats``, ``GET /healthz``, with the bounded
+  job queue mapped to 429/503 backpressure.
+* :class:`~repro.service.metrics.ServiceMetrics` -- per-request latency
+  and queue-wait histograms, phase timings and worker utilization behind
+  :meth:`AnonymizationService.stats`.
 
 The legacy one-shot entry points (:func:`repro.anonymize`,
 :func:`repro.anonymize_stream`, the CLI) are thin shims over this layer.
 """
 
 from repro.service.config import ENV_PREFIX, ServiceConfig
+from repro.service.http import ServiceHTTPServer, serve
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.request import MODES, AnonymizationRequest, PublicationResult
 from repro.service.service import AnonymizationService, Job, anonymization_service
 
@@ -27,7 +36,11 @@ __all__ = [
     "AnonymizationRequest",
     "AnonymizationService",
     "Job",
+    "LatencyHistogram",
     "PublicationResult",
     "ServiceConfig",
+    "ServiceHTTPServer",
+    "ServiceMetrics",
     "anonymization_service",
+    "serve",
 ]

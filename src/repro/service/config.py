@@ -71,6 +71,15 @@ class ServiceConfig:
             in-memory one; ``None`` uses ``max_records_in_memory``.
         max_pending: bound on the service's job queue (``submit`` blocks --
             or raises, when non-blocking -- once this many jobs wait).
+        workers: service worker threads draining the job queue.  Each
+            worker owns its own warm engine (and, with ``jobs > 1``, its
+            own process pool); all workers share the service-lifetime
+            vocabulary behind an interning lock, so results stay
+            bit-for-bit identical to a single-worker service.  Note that
+            one worker already saturates a single CPU for the pure-Python
+            pipeline; more workers pay off when requests block on I/O or
+            when ``jobs`` fans work out to extra cores (see
+            ``docs/OPERATIONS.md``).
     """
 
     k: int = 5
@@ -90,6 +99,7 @@ class ServiceConfig:
     reuse_vocabulary: bool = True
     auto_stream_threshold: Optional[int] = None
     max_pending: int = 32
+    workers: int = 1
 
     def __post_init__(self):
         object.__setattr__(
@@ -116,6 +126,10 @@ class ServiceConfig:
         if not isinstance(self.max_pending, int) or self.max_pending < 1:
             raise ParameterError(
                 f"max_pending must be a positive integer, got {self.max_pending!r}"
+            )
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ParameterError(
+                f"workers must be a positive integer, got {self.workers!r}"
             )
 
     # -- projections onto the legacy parameter objects ------------------- #
@@ -234,7 +248,16 @@ class ServiceConfig:
 
 #: ``from_env`` parsers per field: how each raw string becomes a value.
 _INT_FIELDS = frozenset(
-    {"k", "m", "max_cluster_size", "jobs", "shards", "max_records_in_memory", "max_pending"}
+    {
+        "k",
+        "m",
+        "max_cluster_size",
+        "jobs",
+        "shards",
+        "max_records_in_memory",
+        "max_pending",
+        "workers",
+    }
 )
 _OPTIONAL_INT_FIELDS = frozenset({"max_join_size", "auto_stream_threshold"})
 _BOOL_FIELDS = frozenset({"refine", "verify", "reuse_vocabulary"})

@@ -1,0 +1,379 @@
+"""HTTP front door for the anonymization service (``repro serve``).
+
+A small, dependency-free production entry point built on the stdlib
+:class:`http.server.ThreadingHTTPServer`: one
+:class:`~repro.service.AnonymizationService` behind a JSON-over-HTTP
+surface.  Connection threads only parse requests and wait on futures; all
+anonymization work happens on the service's worker pool, so the bounded
+job queue -- not the socket listener -- is the backpressure point.
+
+Endpoints:
+
+* ``POST /anonymize`` -- body ``{"records": [[...], ...], "mode": "auto",
+  "overrides": {...}, "tag": "...", "async": false}``.  Synchronous by
+  default (the response carries the publication); ``"async": true``
+  submits a job and answers ``202`` with a ``job_id`` to poll.  Both
+  shapes go through the service's bounded queue, so a saturated service
+  answers ``429`` (with ``Retry-After``) instead of queueing unboundedly,
+  and a closed/draining one answers ``503``.
+* ``GET /jobs/<id>`` -- job state (``pending/running/done/failed/
+  cancelled``); a finished job's response carries the publication.
+* ``GET /stats`` -- :meth:`AnonymizationService.stats` verbatim: request
+  and queue-wait latency histograms, per-phase seconds, queue depth,
+  worker utilization.
+* ``GET /healthz`` -- liveness: ``200`` while the service accepts work,
+  ``503`` once it is closed.
+
+Error mapping: malformed JSON / unknown knobs / invalid records answer
+``400`` with ``{"error": ...}``; unknown paths ``404``; wrong methods
+``405``; queue saturation ``429``; closed service ``503``; anything
+unexpected ``500``.  The publication bytes are exactly
+``service.run(...)``'s (bit-for-bit; covered by the test suite and the
+throughput benchmark).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from itertools import count
+from typing import Optional
+
+from repro.exceptions import (
+    DatasetError,
+    ParameterError,
+    ReproError,
+    ServiceClosedError,
+    ServiceSaturatedError,
+)
+from repro.service.service import AnonymizationService, Job
+
+#: Default bind address of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+
+#: Default port of ``repro serve``.
+DEFAULT_PORT = 8350
+
+#: Hard cap on request bodies (a dataset larger than this should be
+#: streamed from a file or object store, not POSTed inline).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Finished jobs retained for ``GET /jobs/<id>`` before the oldest are
+#: evicted (pending/running jobs are never evicted).
+MAX_RETAINED_JOBS = 1024
+
+
+class _JobRegistry:
+    """Id-addressed store of submitted jobs with bounded retention."""
+
+    def __init__(self, max_retained: int = MAX_RETAINED_JOBS):
+        self._jobs: dict[str, Job] = {}
+        self._ids = count(1)
+        self._lock = threading.Lock()
+        self._max_retained = max_retained
+
+    def add(self, job: Job) -> str:
+        """Register a job; returns its id and evicts old finished jobs."""
+        with self._lock:
+            job_id = f"job-{next(self._ids)}"
+            self._jobs[job_id] = job
+            if len(self._jobs) > self._max_retained:
+                # Insertion order == submission order: drop the oldest
+                # *finished* jobs first; live jobs always stay addressable.
+                for key in list(self._jobs):
+                    if len(self._jobs) <= self._max_retained:
+                        break
+                    if self._jobs[key].done():
+                        del self._jobs[key]
+            return job_id
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job with ``job_id``, or ``None``."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP connection onto the bound service (see module doc)."""
+
+    #: Set by :class:`ServiceHTTPServer` on the handler subclass it builds.
+    service: AnonymizationService
+    registry: _JobRegistry
+    quiet: bool = True
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------- #
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Suppress per-request stderr lines unless the server is verbose."""
+        if not self.quiet:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send_json(self, status: int, payload: dict, headers=()) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> dict:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise _HttpError(411, "Content-Length is required")
+        try:
+            length = int(length)
+        except ValueError:
+            raise _HttpError(400, f"malformed Content-Length: {length!r}") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413,
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte "
+                "cap; stream large datasets from a file instead of POSTing inline",
+            )
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return payload
+
+    # -- routing --------------------------------------------------------- #
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        """Serve ``/healthz``, ``/stats`` and ``/jobs/<id>``."""
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/healthz":
+                self._handle_healthz()
+            elif path == "/stats":
+                self._send_json(200, self.service.stats())
+            elif path.startswith("/jobs/"):
+                self._handle_job(path[len("/jobs/"):])
+            elif path in ("/anonymize",):
+                self._send_json(
+                    405, {"error": "POST /anonymize"}, headers=[("Allow", "POST")]
+                )
+            else:
+                self._send_json(404, {"error": f"unknown path {path!r}"})
+        except _HttpError as exc:
+            self._send_json(exc.status, {"error": exc.message})
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
+        """Serve ``POST /anonymize`` (sync and async job submission)."""
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path != "/anonymize":
+                self._send_json(404, {"error": f"unknown path {path!r}"})
+                return
+            self._handle_anonymize(self._read_json_body())
+        except _HttpError as exc:
+            self._send_json(exc.status, {"error": exc.message})
+        except BrokenPipeError:
+            pass
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    # -- endpoints ------------------------------------------------------- #
+    def _handle_healthz(self) -> None:
+        if self.service.closed:
+            self._send_json(503, {"status": "closed"})
+            return
+        self._send_json(
+            200, {"status": "ok", "workers": self.service.config.workers}
+        )
+
+    def _handle_job(self, job_id: str) -> None:
+        job = self.registry.get(job_id)
+        if job is None:
+            self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            return
+        state = job.state()
+        payload: dict = {"job_id": job_id, "state": state, "tag": job.request.tag}
+        if state == "done":
+            result = job.result(timeout=0)
+            payload["mode"] = result.mode
+            payload["summary"] = result.summary()
+            payload["publication"] = result.to_dict()
+        elif state == "failed":
+            payload["error"] = str(job.exception(timeout=0))
+        elif state == "cancelled":
+            payload["error"] = "job was cancelled before it ran"
+        self._send_json(200, payload)
+
+    def _handle_anonymize(self, payload: dict) -> None:
+        records = payload.get("records")
+        if not isinstance(records, list) or not records:
+            raise _HttpError(
+                400, 'body must carry a non-empty "records" list of term arrays'
+            )
+        run_async = bool(payload.get("async", False))
+        request_fields = {
+            "mode": payload.get("mode", "auto"),
+            "overrides": payload.get("overrides") or {},
+            "tag": payload.get("tag"),
+        }
+        try:
+            # Non-blocking submit on both shapes: a full job queue answers
+            # 429 immediately instead of parking connection threads, and
+            # the queue-wait of every HTTP request lands in the metrics.
+            job = self.service.submit(records, block=False, **request_fields)
+        except ServiceSaturatedError as exc:
+            self._send_json(429, {"error": str(exc)}, headers=[("Retry-After", "1")])
+            return
+        except ServiceClosedError as exc:
+            self._send_json(503, {"error": str(exc)})
+            return
+        except (ParameterError, DatasetError) as exc:
+            raise _HttpError(400, str(exc)) from None
+        if run_async:
+            job_id = self.registry.add(job)
+            self._send_json(
+                202,
+                {"job_id": job_id, "state": job.state(), "href": f"/jobs/{job_id}"},
+            )
+            return
+        try:
+            result = job.result()
+        except ServiceClosedError as exc:
+            self._send_json(503, {"error": str(exc)})
+            return
+        except (ParameterError, DatasetError) as exc:
+            raise _HttpError(400, str(exc)) from None
+        except ReproError as exc:
+            self._send_json(500, {"error": str(exc)})
+            return
+        self._send_json(
+            200,
+            {
+                "mode": result.mode,
+                "tag": result.tag,
+                "summary": result.summary(),
+                "publication": result.to_dict(),
+            },
+        )
+
+
+class _HttpError(Exception):
+    """Internal control-flow error carrying an HTTP status + message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServiceHTTPServer:
+    """The ``repro serve`` server: a service bound to a threading HTTP listener.
+
+    Args:
+        service: the (open) :class:`AnonymizationService` to serve.
+        host, port: bind address; ``port=0`` picks a free port (read it
+            back from :attr:`port` -- the test suite does this).
+        own_service: when true (default), :meth:`close` also closes the
+            service; pass ``False`` to share an externally-managed service.
+        quiet: suppress the stdlib per-request log lines.
+
+    Use :meth:`serve_forever` to block (the CLI does), or :meth:`start`
+    to serve from a background thread::
+
+        service = AnonymizationService(config)
+        server = ServiceHTTPServer(service, port=8350)
+        server.start()
+        ...
+        server.close(drain=True)   # stop listening, drain jobs, close service
+    """
+
+    def __init__(
+        self,
+        service: AnonymizationService,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        own_service: bool = True,
+        quiet: bool = True,
+    ):
+        self.service = service
+        self.own_service = own_service
+        registry = _JobRegistry()
+        handler = type(
+            "_BoundServiceRequestHandler",
+            (_ServiceRequestHandler,),
+            {"service": service, "registry": registry, "quiet": quiet},
+        )
+        self.registry = registry
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        """The bound host."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound listener."""
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve requests on the caller's thread until :meth:`close`."""
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ServiceHTTPServer":
+        """Serve requests from a daemon background thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="repro-serve-http", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Graceful shutdown: stop listening, then drain (or cancel) jobs.
+
+        The listener stops accepting connections first, so no new work can
+        arrive; then the service is closed with the given ``drain``
+        semantics (when this server owns it): ``drain=True`` finishes every
+        queued job -- in-flight ``GET /jobs`` pollers see them complete --
+        while ``drain=False`` cancels whatever has not started.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if self.own_service and not self.service.closed:
+            self.service.close(drain=drain)
+
+
+def serve(
+    config=None,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    **server_kwargs,
+) -> ServiceHTTPServer:
+    """Build a service for ``config`` and start serving it in the background.
+
+    Convenience for embedding; the CLI drives :class:`ServiceHTTPServer`
+    directly so it can block on the caller's thread.
+    """
+    service = AnonymizationService(config)
+    return ServiceHTTPServer(service, host, port, **server_kwargs).start()

@@ -3,12 +3,16 @@
 :class:`AnonymizationService` owns, for its whole lifetime, the warm state
 that every one-shot entry point used to rebuild per call:
 
-* one :class:`~repro.core.engine.Disassociator` (and with it one shared
-  worker pool, spawned lazily and kept across requests via ``keep_pool``),
+* a pool of warm :class:`~repro.core.engine.Disassociator` engines (one
+  per configured service worker, each with its own shared process pool
+  spawned lazily and kept across requests via ``keep_pool``),
 * one service-lifetime :class:`~repro.core.vocab.Vocabulary`, so the
   encode phase of back-to-back batch requests only interns terms it has
   never seen (interning is append-only and output-invariant -- the same
-  property the streaming executor relies on per shard), and
+  property the streaming executor relies on per shard); with more than
+  one worker the vocabulary is made thread-safe
+  (:meth:`~repro.core.vocab.Vocabulary.make_shared`) so concurrent
+  encoders intern behind one lock, and
 * a once-resolved vectorized-kernel backend.
 
 Requests (:class:`~repro.service.request.AnonymizationRequest`) auto-route
@@ -17,13 +21,19 @@ and the configured memory threshold; both paths return the same
 :class:`~repro.service.request.PublicationResult`.
 
 Concurrency model: :meth:`run` executes synchronously in the caller's
-thread; :meth:`submit` enqueues onto a bounded FIFO queue drained by a
-single worker thread.  Both paths serialize on one internal lock, so the
-warm engine (and its process pool) is never used by two requests at once
-and a given sequence of requests produces the same publications regardless
-of how callers interleave -- the vocabulary the requests share is
-output-invariant by construction, so even the *order* of concurrent
-submissions cannot change any individual result.
+thread on a checked-out engine; :meth:`submit` enqueues onto a bounded
+FIFO queue drained by ``config.workers`` worker threads, each executing on
+its own engine.  Up to ``workers`` requests execute concurrently (sync
+callers compete with queue workers for the same engine pool).  Every
+individual request is deterministic: the vocabulary the requests share is
+output-invariant by construction, so neither the interleaving nor the
+number of workers can change any publication -- an N-worker service is
+bit-for-bit equivalent to a sequential one (equivalence-tested).
+
+Every request -- sync or queued -- is measured into
+:class:`~repro.service.metrics.ServiceMetrics` (latency histograms, queue
+wait, per-phase time, worker utilization), surfaced by :meth:`stats` and
+the HTTP front door's ``GET /stats`` (see :mod:`repro.service.http`).
 """
 
 from __future__ import annotations
@@ -47,14 +57,15 @@ from repro.exceptions import (
     ServiceSaturatedError,
 )
 from repro.service.config import ServiceConfig
+from repro.service.metrics import ServiceMetrics
 from repro.service.request import AnonymizationRequest, PublicationResult
 from repro.stream.executor import ShardedPipeline
 
-#: Queue item telling the worker thread to exit.
+#: Queue item telling a worker thread to exit.
 _SENTINEL = object()
 
 #: Engine-identity fields: a per-request override touching one of these
-#: cannot reuse the warm engine (its pool/kernel state was built for the
+#: cannot reuse a warm engine (its pool/kernel state was built for the
 #: service's own values), so the request runs on a transient engine.
 _ENGINE_IDENTITY_FIELDS = ("backend", "jobs", "kernels")
 
@@ -77,10 +88,10 @@ class Job:
         self.request = request
         self._future: Future = Future()
         self._cancelled_by_service = False
+        self._enqueued_at = time.monotonic()
 
     def __repr__(self) -> str:
-        state = "done" if self.done() else "pending"
-        return f"Job({self.request.mode!r}, {state}, tag={self.request.tag!r})"
+        return f"Job({self.request.mode!r}, {self.state()}, tag={self.request.tag!r})"
 
     def done(self) -> bool:
         """Whether the job finished (successfully, with an error, or cancelled)."""
@@ -89,6 +100,25 @@ class Job:
     def cancelled(self) -> bool:
         """Whether the job was cancelled before it ran."""
         return self._future.cancelled()
+
+    def running(self) -> bool:
+        """Whether the job is currently executing on a worker."""
+        return self._future.running()
+
+    def state(self) -> str:
+        """The job's lifecycle state: ``pending/running/done/failed/cancelled``.
+
+        Non-blocking; the HTTP front door serializes this into
+        ``GET /jobs/<id>`` responses.
+        """
+        future = self._future
+        if future.cancelled():
+            return "cancelled"
+        if future.done():
+            return "failed" if future.exception() is not None else "done"
+        if future.running():
+            return "running"
+        return "pending"
 
     def cancel(self) -> bool:
         """Try to cancel the job; only possible while it is still queued."""
@@ -129,12 +159,14 @@ class AnonymizationService:
 
     Args:
         config: the service's :class:`ServiceConfig`; defaults match the
-            paper's parameters (``k=5, m=2``).
+            paper's parameters (``k=5, m=2``).  ``config.workers`` sizes
+            the worker pool: that many queued jobs (and sync callers)
+            execute concurrently, each on its own warm engine.
 
-    Use as a context manager (or call :meth:`close`) so the shared worker
-    pool and the job-queue worker are shut down deterministically::
+    Use as a context manager (or call :meth:`close`) so the engines and
+    the job-queue workers are shut down deterministically::
 
-        with AnonymizationService(ServiceConfig(k=5, m=2, jobs=4)) as service:
+        with AnonymizationService(ServiceConfig(k=5, m=2, workers=2)) as service:
             result = service.run(dataset)                 # sync
             job = service.submit(AnonymizationRequest(other_dataset))
             ...
@@ -148,17 +180,31 @@ class AnonymizationService:
         #: re-consulting the environment.
         self.kernels = kernels.resolve(self.config.kernels)
         self._vocabulary = Vocabulary()
-        self._engine = Disassociator(
-            self.config.engine_params(kernels=self.kernels),
-            keep_pool=True,
-            vocabulary=self._vocabulary,
-        )
-        self._lock = threading.RLock()  # serializes request execution
+        if self.config.workers > 1:
+            # Concurrent encoders intern behind one lock; single-worker
+            # services keep the lock-free path (execution is serialized by
+            # the engine pool there).
+            self._vocabulary.make_shared()
+        self._engines = [
+            Disassociator(
+                self.config.engine_params(kernels=self.kernels),
+                keep_pool=True,
+                vocabulary=self._vocabulary,
+            )
+            for _ in range(self.config.workers)
+        ]
+        #: The first engine, kept as an attribute for introspection/tests.
+        self._engine = self._engines[0]
+        #: Idle engines, checked out per executing request.  LIFO: reuse
+        #: the most recently warmed engine while traffic is light.
+        self._idle: "queue.LifoQueue" = queue.LifoQueue()
+        for engine in self._engines:
+            self._idle.put(engine)
         self._state_lock = threading.Lock()  # guards closed flag + worker spawn
         self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.max_pending)
-        self._worker: Optional[threading.Thread] = None
+        self._workers: list[threading.Thread] = []
+        self._metrics = ServiceMetrics()
         self._closed = False
-        self._served = 0
 
     # -- lifecycle ------------------------------------------------------- #
     @property
@@ -177,10 +223,12 @@ class AnonymizationService:
         """Shut the service down.
 
         With ``drain=True`` (default) every already-submitted job is
-        executed before the worker exits; with ``drain=False`` queued jobs
+        executed before the workers exit; with ``drain=False`` queued jobs
         are cancelled (their ``result()`` raises
-        :class:`~repro.exceptions.ServiceClosedError`).  Either way the
-        shared engine (and its worker pool) is closed and later ``run`` /
+        :class:`~repro.exceptions.ServiceClosedError`) and only jobs
+        already executing finish.  Either way every engine (and its worker
+        pool) is closed -- waiting for in-flight synchronous :meth:`run`
+        calls to return their engines first -- and later ``run`` /
         ``submit`` / ``close`` calls raise
         :class:`~repro.exceptions.ServiceClosedError`.
         """
@@ -191,17 +239,23 @@ class AnonymizationService:
                     "the service was already closed"
                 )
             self._closed = True
-            worker = self._worker
-        if worker is not None:
+            workers = list(self._workers)
+        if workers:
             if not drain:
                 self._cancel_pending()
-            self._queue.put(_SENTINEL)
-            worker.join()
-        # Anything that raced into the queue behind the sentinel would
+            for _ in workers:
+                self._queue.put(_SENTINEL)
+            for worker in workers:
+                worker.join()
+        # Anything that raced into the queue behind the sentinels would
         # otherwise wait forever; fail it explicitly.
         self._cancel_pending()
-        with self._lock:
-            self._engine.close()
+        # Collect every engine before closing: a blocking get waits for
+        # in-flight executions (sync runs included) to check theirs back in.
+        for _ in self._engines:
+            self._idle.get()
+        for engine in self._engines:
+            engine.close()
 
     def _cancel_pending(self) -> None:
         """Cancel every job still sitting in the queue (non-blocking)."""
@@ -212,7 +266,8 @@ class AnonymizationService:
                 return
             if item is not _SENTINEL:
                 item._cancelled_by_service = True
-                item._future.cancel()
+                if item._future.cancel():
+                    self._metrics.job_cancelled()
             self._queue.task_done()
 
     def _check_open(self) -> None:
@@ -223,14 +278,40 @@ class AnonymizationService:
 
     # -- introspection --------------------------------------------------- #
     def stats(self) -> dict:
-        """Warm-state snapshot: requests served, vocabulary size, queue depth."""
-        return {
-            "requests_served": self._served,
-            "vocabulary_terms": len(self._vocabulary),
-            "kernels": self.kernels,
-            "pending_jobs": self._queue.qsize(),
-            "closed": self._closed,
-        }
+        """Warm-state and request-metrics snapshot (JSON-safe).
+
+        The same payload regardless of how requests arrived (sync
+        :meth:`run`, queued :meth:`submit`, or the HTTP front door, which
+        serves this dict verbatim on ``GET /stats``):
+
+        * top-level legacy keys: ``requests_served``, ``vocabulary_terms``,
+          ``kernels``, ``pending_jobs``, ``closed``;
+        * ``queue``: current depth and capacity (``max_pending``);
+        * ``workers``: configured vs started counts, per-worker busy
+          seconds and utilization;
+        * ``requests`` / ``jobs`` / ``latency`` / ``phases`` from
+          :class:`~repro.service.metrics.ServiceMetrics` -- request and
+          queue-wait histograms with p50/p90/p99, per-phase accumulated
+          seconds, saturation and cancellation counters.
+
+        Every request increments ``requests_served`` exactly once, on the
+        entry path that executed it -- auto-routing a request to the
+        streaming pipeline (whose windows borrow a warm engine) does not
+        double-count.
+        """
+        with self._state_lock:
+            started = len(self._workers)
+        payload = self._metrics.snapshot(
+            workers_configured=self.config.workers, workers_started=started
+        )
+        depth = self._queue.qsize()
+        payload["queue"] = {"depth": depth, "capacity": self.config.max_pending}
+        payload["requests_served"] = payload["requests"]["completed"]
+        payload["vocabulary_terms"] = len(self._vocabulary)
+        payload["kernels"] = self.kernels
+        payload["pending_jobs"] = depth
+        payload["closed"] = self._closed
+        return payload
 
     # -- entry points ----------------------------------------------------- #
     def run(self, request, **kwargs) -> PublicationResult:
@@ -240,13 +321,17 @@ class AnonymizationService:
         arguments allowed then), or any request *source* -- dataset, file
         path, iterable -- with the request's fields (``mode``, ``format``,
         ``delimiter``, ``tag``, ``overrides``) given as keyword arguments.
+
+        Executes on the caller's thread, on an engine checked out from the
+        warm pool (waiting for one when all ``config.workers`` engines are
+        busy).
         """
         request = self._coerce(request, kwargs)
-        with self._lock:
-            # Checked under the execution lock: a close() racing with this
-            # call either finishes first (we raise) or waits for us.
-            self._check_open()
-            return self._execute(request)
+        engine = self._checkout_engine()
+        try:
+            return self._execute(request, engine, worker="caller")
+        finally:
+            self._idle.put(engine)
 
     def submit(
         self,
@@ -258,29 +343,35 @@ class AnonymizationService:
     ) -> Job:
         """Enqueue a request and return a :class:`Job` future.
 
-        Jobs are executed FIFO by a single worker thread sharing the warm
-        engine, so concurrent submitters get deterministic results.  The
-        queue is bounded at ``config.max_pending``: a blocking submit waits
-        for space (up to ``timeout``), a non-blocking one raises
+        Jobs are picked up FIFO by ``config.workers`` worker threads, each
+        executing on its own warm engine; results are deterministic per
+        request regardless of the worker count or interleaving.  The queue
+        is bounded at ``config.max_pending``: a blocking submit waits for
+        space (up to ``timeout``), a non-blocking one raises
         :class:`~repro.exceptions.ServiceSaturatedError` when full.
         """
         request = self._coerce(request, kwargs)
         with self._state_lock:
             self._check_open()
-            if self._worker is None:
-                self._worker = threading.Thread(
-                    target=self._worker_loop,
-                    name="repro-anonymization-service",
-                    daemon=True,
-                )
-                self._worker.start()
+            if not self._workers:
+                for index in range(self.config.workers):
+                    worker = threading.Thread(
+                        target=self._worker_loop,
+                        args=(f"worker-{index}",),
+                        name=f"repro-anonymization-service-{index}",
+                        daemon=True,
+                    )
+                    worker.start()
+                    self._workers.append(worker)
         job = Job(request)
         self._enqueue(job, block, timeout)
+        self._metrics.job_submitted()
         if self._closed:
             # close() finished while we were blocked on a full queue; the
-            # worker is gone, so the job would never run.
+            # workers are gone, so the job would never run.
             job._cancelled_by_service = True
             if job.cancel():
+                self._metrics.job_cancelled()
                 raise ServiceClosedError(
                     "AnonymizationService was closed while the submit was "
                     "waiting for queue space"
@@ -288,12 +379,21 @@ class AnonymizationService:
             job._cancelled_by_service = False
         return job
 
+    def _checkout_engine(self) -> Disassociator:
+        """Borrow an idle engine, waking up if the service closes meanwhile."""
+        while True:
+            self._check_open()
+            try:
+                return self._idle.get(timeout=0.05)
+            except queue.Empty:
+                continue
+
     def _enqueue(self, job: Job, block: bool, timeout: Optional[float]) -> None:
         """Put a job on the bounded queue, waking up if the service closes.
 
         A blocking put is sliced into short waits so a submitter stuck on a
         full queue notices a concurrent :meth:`close` instead of blocking
-        forever against a worker that is shutting down.
+        forever against workers that are shutting down.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
@@ -306,12 +406,15 @@ class AnonymizationService:
                 slice_timeout = min(0.05, deadline - time.monotonic())
             try:
                 if block and slice_timeout is not None and slice_timeout > 0:
+                    job._enqueued_at = time.monotonic()
                     self._queue.put(job, block=True, timeout=slice_timeout)
                 else:
+                    job._enqueued_at = time.monotonic()
                     self._queue.put_nowait(job)
                 return
             except queue.Full:
                 if not block or (deadline is not None and time.monotonic() >= deadline):
+                    self._metrics.submit_rejected()
                     raise ServiceSaturatedError(
                         f"job queue is full ({self.config.max_pending} pending); "
                         "retry, raise max_pending, or use a blocking submit"
@@ -337,41 +440,70 @@ class AnonymizationService:
         return AnonymizationRequest(request, **request_fields)
 
     # -- execution -------------------------------------------------------- #
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, name: str) -> None:
         while True:
             item = self._queue.get()
             try:
                 if item is _SENTINEL:
                     return
                 if not item._future.set_running_or_notify_cancel():
+                    self._metrics.job_cancelled()
                     continue
+                queue_wait = time.monotonic() - item._enqueued_at
+                engine = self._idle.get()
                 try:
-                    with self._lock:
-                        result = self._execute(item.request)
-                except BaseException as exc:
-                    item._future.set_exception(exc)
-                else:
-                    item._future.set_result(result)
+                    try:
+                        result = self._execute(
+                            item.request, engine, worker=name, queue_wait=queue_wait
+                        )
+                    except BaseException as exc:
+                        item._future.set_exception(exc)
+                    else:
+                        item._future.set_result(result)
+                finally:
+                    self._idle.put(engine)
             finally:
                 self._queue.task_done()
 
-    def _execute(self, request: AnonymizationRequest) -> PublicationResult:
+    def _execute(
+        self,
+        request: AnonymizationRequest,
+        engine: Disassociator,
+        *,
+        worker: str,
+        queue_wait: Optional[float] = None,
+    ) -> PublicationResult:
         config = self.config
         if request.overrides:
             config = config.with_overrides(**request.overrides)
-        mode, stream_source, dataset = self._route(request, config)
-        if mode == "batch":
-            published, report = self._run_batch(dataset, config)
-            result = PublicationResult(
-                published, report, "batch", config, original=dataset, tag=request.tag
+        self._metrics.request_started()
+        start = time.perf_counter()
+        mode: Optional[str] = None
+        report = None
+        error = True
+        try:
+            mode, stream_source, dataset = self._route(request, config)
+            if mode == "batch":
+                published, report = self._run_batch(dataset, config, engine)
+                result = PublicationResult(
+                    published, report, "batch", config, original=dataset, tag=request.tag
+                )
+            else:
+                published, report = self._run_stream(stream_source, config, engine)
+                result = PublicationResult(
+                    published, report, "stream", config, tag=request.tag
+                )
+            error = False
+            return result
+        finally:
+            self._metrics.request_finished(
+                seconds=time.perf_counter() - start,
+                mode=mode,
+                error=error,
+                queue_wait=queue_wait,
+                worker=worker,
+                phase_timings=report.phase_timings() if report is not None else None,
             )
-        else:
-            published, report = self._run_stream(stream_source, config)
-            result = PublicationResult(
-                published, report, "stream", config, tag=request.tag
-            )
-        self._served += 1
-        return result
 
     def _route(self, request: AnonymizationRequest, config: ServiceConfig):
         """Decide batch vs stream; returns ``(mode, stream_source, dataset)``.
@@ -412,17 +544,24 @@ class AnonymizationService:
         # resolved value, so they never silently defeat warm reuse.
         return config.engine_params(kernels=kernels.resolve(config.kernels))
 
-    def _warm_engine_for(self, params: AnonymizationParams) -> Optional[Disassociator]:
+    def _warm_engine_for(
+        self, params: AnonymizationParams, engine: Optional[Disassociator] = None
+    ) -> Optional[Disassociator]:
         """The warm engine, when ``params`` can reuse its pool/kernel state."""
+        if engine is None:
+            engine = self._engine
         for field_name in _ENGINE_IDENTITY_FIELDS:
-            if getattr(params, field_name) != getattr(self._engine.params, field_name):
+            if getattr(params, field_name) != getattr(engine.params, field_name):
                 return None
-        return self._engine
+        return engine
 
-    def _run_batch(self, dataset: TransactionDataset, config: ServiceConfig):
+    def _run_batch(
+        self, dataset: TransactionDataset, config: ServiceConfig, engine: Disassociator
+    ):
         params = self._engine_params(config)
-        engine = self._warm_engine_for(params)
-        if engine is not None:
+        warm = self._warm_engine_for(params, engine)
+        if warm is not None:
+            engine = warm
             engine.params = params
             engine.vocabulary = self._vocabulary
         else:
@@ -433,12 +572,12 @@ class AnonymizationService:
         published = engine.anonymize(dataset)
         return published, engine.last_report
 
-    def _run_stream(self, records, config: ServiceConfig):
+    def _run_stream(self, records, config: ServiceConfig, engine: Disassociator):
         params = self._engine_params(config)
         pipeline = ShardedPipeline(
             params,
             config.stream_params(),
-            window_engine=self._warm_engine_for(params),
+            window_engine=self._warm_engine_for(params, engine),
         )
         published = pipeline.run(records)
         return published, pipeline.last_report

@@ -1,0 +1,496 @@
+"""Tests for the multi-worker service and its HTTP front door.
+
+Covers the PR-7 concurrency surface:
+
+* ``ServiceConfig.workers`` validation and env parsing;
+* N-worker vs sequential bit-for-bit equivalence (the worker pool must
+  never change a publication);
+* the shared (locked) vocabulary staying consistent under concurrent
+  interning;
+* ``stats()`` schema consistency between the ``run()`` and ``submit()``
+  paths -- queue depth, worker counts, latency histograms -- and
+  single-counting of auto-routed stream requests;
+* the HTTP endpoints: ``POST /anonymize`` (sync + async) bit-for-bit
+  against ``service.run()``, ``GET /jobs/<id>``, ``GET /stats``,
+  ``GET /healthz``, error mapping (400/404/405), saturation (429) and
+  closed-service (503) backpressure;
+* drain-vs-cancel shutdown with in-flight HTTP-submitted jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import (
+    AnonymizationService,
+    ParameterError,
+    ServiceConfig,
+    TransactionDataset,
+    Vocabulary,
+)
+from repro.service import LatencyHistogram, ServiceHTTPServer
+from repro.datasets.quest import generate_quest
+
+
+def quest(records=120, domain=40, seed=0) -> TransactionDataset:
+    """A small deterministic QUEST dataset for HTTP/worker tests."""
+    return generate_quest(
+        num_transactions=records,
+        domain_size=domain,
+        avg_transaction_size=5.0,
+        seed=seed,
+    )
+
+
+BASE_CONFIG = ServiceConfig(k=3, max_cluster_size=10, verify=False)
+
+
+def http(base: str, method: str, path: str, payload=None, timeout=60):
+    """One HTTP round-trip; returns ``(status, decoded-json)``."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+@pytest.fixture()
+def served():
+    """A 2-worker service behind a live HTTP server on a free port."""
+    service = AnonymizationService(
+        BASE_CONFIG.with_overrides(workers=2, max_pending=8)
+    )
+    server = ServiceHTTPServer(service, port=0)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.close(drain=False)
+
+
+# --------------------------------------------------------------------------- #
+# ServiceConfig.workers
+# --------------------------------------------------------------------------- #
+class TestWorkersConfig:
+    @pytest.mark.parametrize("workers", [0, -1, "two"])
+    def test_invalid_workers_rejected(self, workers):
+        with pytest.raises(ParameterError, match="workers"):
+            ServiceConfig(workers=workers)
+
+    def test_workers_from_env(self):
+        config = ServiceConfig.from_env({"REPRO_SERVICE_WORKERS": "3"})
+        assert config.workers == 3
+
+    def test_workers_round_trips_through_dict(self):
+        config = ServiceConfig(workers=4)
+        assert ServiceConfig.from_dict(config.to_dict()) == config
+
+
+# --------------------------------------------------------------------------- #
+# worker-pool equivalence and the shared vocabulary
+# --------------------------------------------------------------------------- #
+class TestWorkerPool:
+    def test_multi_worker_submits_match_sequential_runs(self):
+        datasets = [quest(100, seed=seed) for seed in range(6)]
+        with AnonymizationService(BASE_CONFIG) as service:
+            sequential = [service.run(d, mode="batch").to_dict() for d in datasets]
+        with AnonymizationService(BASE_CONFIG.with_overrides(workers=3)) as service:
+            jobs = [service.submit(d, mode="batch") for d in datasets]
+            concurrent = [job.result(timeout=120).to_dict() for job in jobs]
+        assert concurrent == sequential
+
+    def test_multi_worker_mixed_run_and_submit_match(self):
+        dataset = quest(100)
+        with AnonymizationService(BASE_CONFIG) as service:
+            expected = service.run(dataset, mode="batch").to_dict()
+        with AnonymizationService(BASE_CONFIG.with_overrides(workers=2)) as service:
+            job = service.submit(dataset, mode="batch")
+            sync = service.run(dataset, mode="batch")
+            assert job.result(timeout=120).to_dict() == expected
+            assert sync.to_dict() == expected
+
+    def test_multi_worker_service_spawns_all_workers(self):
+        with AnonymizationService(BASE_CONFIG.with_overrides(workers=3)) as service:
+            job = service.submit(quest(40), mode="batch")
+            job.result(timeout=60)
+            stats = service.stats()
+        assert stats["workers"]["configured"] == 3
+        assert stats["workers"]["started"] == 3
+        assert len(service._engines) == 3
+
+    def test_close_drains_across_workers(self):
+        service = AnonymizationService(BASE_CONFIG.with_overrides(workers=2))
+        jobs = [service.submit(quest(80, seed=seed), mode="batch") for seed in range(4)]
+        service.close(drain=True)
+        for job in jobs:
+            assert job.result(timeout=1).mode == "batch"
+
+    def test_shared_vocabulary_consistent_under_concurrent_interning(self):
+        vocab = Vocabulary().make_shared()
+        universe = [f"t{i}" for i in range(300)]
+        errors = []
+
+        def intern_range(offset):
+            try:
+                for term in universe[offset:] + universe[:offset]:
+                    vocab.intern(term)
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=intern_range, args=(offset,))
+            for offset in (0, 100, 200, 250)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(vocab) == len(universe)
+        ids = [vocab.id_of(term) for term in universe]
+        assert sorted(ids) == list(range(len(universe)))  # dense, no duplicates
+        for term in universe:
+            assert vocab.decode(vocab.id_of(term)) == term
+
+    def test_shared_vocabulary_arena_is_per_thread(self):
+        vocab = Vocabulary().make_shared()
+        arenas = {}
+
+        def grab(name):
+            arenas[name] = vocab.subrecord_arena()
+
+        threads = [threading.Thread(target=grab, args=(n,)) for n in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert arenas["a"] is not arenas["b"]
+        # Unshared vocabularies keep the single cached arena.
+        plain = Vocabulary()
+        assert plain.subrecord_arena() is plain.subrecord_arena()
+
+
+# --------------------------------------------------------------------------- #
+# stats(): one schema for both entry paths, no double counting
+# --------------------------------------------------------------------------- #
+class TestStats:
+    def test_same_schema_for_run_and_submit_paths(self):
+        with AnonymizationService(BASE_CONFIG) as service:
+            service.run(quest(40), mode="batch")
+            run_stats = service.stats()
+            service.submit(quest(40), mode="batch").result(timeout=60)
+            submit_stats = service.stats()
+        assert set(run_stats) == set(submit_stats)
+        for stats in (run_stats, submit_stats):
+            assert stats["queue"]["depth"] == stats["pending_jobs"]
+            assert stats["queue"]["capacity"] == BASE_CONFIG.max_pending
+            assert stats["workers"]["configured"] == BASE_CONFIG.workers
+            assert stats["latency"]["request_seconds"]["count"] >= 1
+        # The run() path reports zero started queue workers; submit spawns
+        # them -- both report the same configured count.
+        assert run_stats["workers"]["started"] == 0
+        assert submit_stats["workers"]["started"] == BASE_CONFIG.workers
+
+    def test_requests_counted_once_per_request(self):
+        with AnonymizationService(
+            BASE_CONFIG.with_overrides(shards=2, max_records_in_memory=50)
+        ) as service:
+            service.run(quest(40), mode="batch")
+            assert service.stats()["requests_served"] == 1
+            # Auto-routed to the streaming pipeline (threshold below input
+            # size): still exactly one served request, one stream-mode tick.
+            service.run(quest(80), overrides={"auto_stream_threshold": 60})
+            stats = service.stats()
+        assert stats["requests_served"] == 2
+        assert stats["requests"]["completed"] == 2
+        assert stats["requests"]["by_mode"] == {"batch": 1, "stream": 1}
+
+    def test_queue_wait_recorded_for_submitted_jobs_only(self):
+        with AnonymizationService(BASE_CONFIG) as service:
+            service.run(quest(40), mode="batch")
+            assert service.stats()["latency"]["queue_wait_seconds"]["count"] == 0
+            service.submit(quest(40), mode="batch").result(timeout=60)
+            stats = service.stats()
+        assert stats["latency"]["queue_wait_seconds"]["count"] == 1
+        assert stats["latency"]["request_seconds"]["count"] == 2
+
+    def test_phase_seconds_accumulate(self):
+        with AnonymizationService(BASE_CONFIG) as service:
+            service.run(quest(60), mode="batch")
+            phases = service.stats()["phases"]["seconds"]
+        assert {"horizontal_seconds", "vertical_seconds", "refine_seconds"} <= set(
+            phases
+        )
+
+    def test_failed_requests_counted_as_failed(self):
+        with AnonymizationService(BASE_CONFIG) as service:
+            with pytest.raises(Exception):
+                service.run("/does/not/exist.jsonl", mode="batch")
+            stats = service.stats()
+        assert stats["requests"]["failed"] == 1
+        assert stats["requests"]["completed"] == 0
+
+
+class TestLatencyHistogram:
+    def test_percentiles_and_buckets(self):
+        histogram = LatencyHistogram()
+        for value in [0.01, 0.02, 0.03, 0.04, 0.4]:
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 5
+        assert snapshot["min_seconds"] == 0.01
+        assert snapshot["max_seconds"] == 0.4
+        assert snapshot["p50_seconds"] == 0.03
+        assert snapshot["p99_seconds"] == 0.4
+        assert snapshot["buckets"]["le_inf"] == 5
+        assert snapshot["buckets"]["le_0.05"] == 4
+
+    def test_empty_histogram_snapshot(self):
+        snapshot = LatencyHistogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50_seconds"] is None
+        assert snapshot["mean_seconds"] is None
+
+
+# --------------------------------------------------------------------------- #
+# HTTP endpoints
+# --------------------------------------------------------------------------- #
+class TestHttpEndpoints:
+    def test_healthz_ok(self, served):
+        status, payload = http(served.url, "GET", "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "workers": 2}
+
+    def test_stats_smoke(self, served):
+        status, payload = http(served.url, "GET", "/stats")
+        assert status == 200
+        assert payload["queue"]["capacity"] == 8
+        assert payload["workers"]["configured"] == 2
+        assert "request_seconds" in payload["latency"]
+
+    def test_sync_anonymize_matches_service_run(self, served):
+        dataset = quest(100)
+        expected = served.service.run(dataset, mode="batch")
+        status, payload = http(
+            served.url,
+            "POST",
+            "/anonymize",
+            {"records": [sorted(r) for r in dataset], "mode": "batch", "tag": "t"},
+        )
+        assert status == 200
+        assert payload["mode"] == "batch"
+        assert payload["tag"] == "t"
+        assert payload["publication"] == expected.to_dict()
+
+    def test_async_anonymize_job_lifecycle(self, served):
+        dataset = quest(100)
+        expected = served.service.run(dataset, mode="batch")
+        status, submitted = http(
+            served.url,
+            "POST",
+            "/anonymize",
+            {"records": [sorted(r) for r in dataset], "mode": "batch", "async": True},
+        )
+        assert status == 202
+        assert submitted["state"] in ("pending", "running", "done")
+        for _ in range(600):
+            status, job = http(served.url, "GET", submitted["href"])
+            assert status == 200
+            if job["state"] in ("done", "failed", "cancelled"):
+                break
+            import time
+
+            time.sleep(0.05)
+        assert job["state"] == "done"
+        assert job["publication"] == expected.to_dict()
+
+    def test_unknown_job_404(self, served):
+        status, payload = http(served.url, "GET", "/jobs/job-999999")
+        assert status == 404
+        assert "unknown job" in payload["error"]
+
+    def test_bad_body_400(self, served):
+        status, payload = http(served.url, "POST", "/anonymize", {"nope": 1})
+        assert status == 400
+        assert "records" in payload["error"]
+
+    def test_bad_mode_400(self, served):
+        status, payload = http(
+            served.url, "POST", "/anonymize", {"records": [["a", "b"]], "mode": "warp"}
+        )
+        assert status == 400
+
+    def test_bad_override_key_400(self, served):
+        status, payload = http(
+            served.url,
+            "POST",
+            "/anonymize",
+            {"records": [["a", "b"]], "overrides": {"max_clustersize": 4}},
+        )
+        assert status == 400
+        assert "unknown ServiceConfig" in payload["error"]
+
+    def test_unknown_path_404_and_wrong_method_405(self, served):
+        assert http(served.url, "GET", "/nope")[0] == 404
+        assert http(served.url, "POST", "/stats", {})[0] == 404
+        status, payload = http(served.url, "GET", "/anonymize")
+        assert status == 405
+
+    def test_per_request_overrides_apply(self, served):
+        dataset = quest(80)
+        expected = served.service.run(dataset, mode="batch", overrides={"k": 2})
+        status, payload = http(
+            served.url,
+            "POST",
+            "/anonymize",
+            {"records": [sorted(r) for r in dataset], "mode": "batch",
+             "overrides": {"k": 2}},
+        )
+        assert status == 200
+        assert payload["publication"] == expected.to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# backpressure and shutdown under in-flight HTTP jobs
+# --------------------------------------------------------------------------- #
+def gated_source(gate, records):
+    """An iterable that parks its consumer (a worker) until ``gate`` opens."""
+
+    def generator():
+        gate.wait(timeout=120)
+        yield from records
+
+    return generator()
+
+
+class TestHttpBackpressure:
+    def test_saturated_queue_answers_429(self):
+        service = AnonymizationService(
+            BASE_CONFIG.with_overrides(workers=1, max_pending=1)
+        )
+        server = ServiceHTTPServer(service, port=0)
+        server.start()
+        gate = threading.Event()
+        records = [sorted(r) for r in quest(40)]
+        try:
+            # Occupy the single worker with a gated job, then fill the
+            # one-slot queue; the next HTTP submit must bounce with 429.
+            blocked = service.submit(gated_source(gate, quest(40)), mode="batch")
+            queued_status, queued = http(
+                server.url, "POST", "/anonymize",
+                {"records": records, "mode": "batch", "async": True},
+            )
+            assert queued_status == 202
+            status, payload = http(
+                server.url, "POST", "/anonymize",
+                {"records": records, "mode": "batch", "async": True},
+            )
+            assert status == 429
+            assert "full" in payload["error"]
+            assert service.stats()["jobs"]["rejected_saturated"] >= 1
+            gate.set()
+            assert blocked.result(timeout=120).mode == "batch"
+            status, job = http(server.url, "GET", queued["href"])
+            while job["state"] in ("pending", "running"):
+                status, job = http(server.url, "GET", queued["href"])
+            assert job["state"] == "done"
+        finally:
+            gate.set()
+            server.close(drain=False)
+
+    def test_drain_shutdown_finishes_inflight_http_jobs(self):
+        service = AnonymizationService(
+            BASE_CONFIG.with_overrides(workers=1, max_pending=4)
+        )
+        server = ServiceHTTPServer(service, port=0, own_service=False)
+        server.start()
+        gate = threading.Event()
+        records = [sorted(r) for r in quest(60)]
+        try:
+            blocked = service.submit(gated_source(gate, quest(60)), mode="batch")
+            _, queued = http(
+                server.url, "POST", "/anonymize",
+                {"records": records, "mode": "batch", "async": True},
+            )
+            closer = threading.Thread(target=service.close, kwargs={"drain": True})
+            closer.start()
+            gate.set()
+            closer.join(timeout=120)
+            assert not closer.is_alive()
+            assert blocked.result(timeout=1).mode == "batch"
+            # The server still answers: the drained job completed, and the
+            # closed service reports unhealthy.
+            status, job = http(server.url, "GET", queued["href"])
+            assert (status, job["state"]) == (200, "done")
+            assert http(server.url, "GET", "/healthz")[0] == 503
+            status, _ = http(
+                server.url, "POST", "/anonymize",
+                {"records": records, "mode": "batch"},
+            )
+            assert status == 503
+        finally:
+            gate.set()
+            server.close(drain=False)
+
+    def test_cancel_shutdown_cancels_queued_http_jobs(self):
+        service = AnonymizationService(
+            BASE_CONFIG.with_overrides(workers=1, max_pending=4)
+        )
+        server = ServiceHTTPServer(service, port=0, own_service=False)
+        server.start()
+        gate = threading.Event()
+        records = [sorted(r) for r in quest(60)]
+        try:
+            blocked = service.submit(gated_source(gate, quest(60)), mode="batch")
+            _, queued = http(
+                server.url, "POST", "/anonymize",
+                {"records": records, "mode": "batch", "async": True},
+            )
+            closer = threading.Thread(target=service.close, kwargs={"drain": False})
+            closer.start()
+            gate.set()
+            closer.join(timeout=120)
+            assert not closer.is_alive()
+            # The in-flight job finished; the queued one was cancelled.
+            assert blocked.result(timeout=1).mode == "batch"
+            status, job = http(server.url, "GET", queued["href"])
+            assert (status, job["state"]) == (200, "cancelled")
+            assert "cancelled" in job["error"]
+        finally:
+            gate.set()
+            server.close(drain=False)
+
+
+# --------------------------------------------------------------------------- #
+# the serve CLI plumbing
+# --------------------------------------------------------------------------- #
+class TestServeCli:
+    def test_parser_accepts_serve(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "2", "--max-pending", "16"]
+        )
+        assert (args.command, args.workers, args.max_pending) == ("serve", 2, 16)
+
+    def test_serve_config_env_then_flags(self, monkeypatch):
+        from repro.cli import _serve_config, build_parser
+
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "4")
+        monkeypatch.setenv("REPRO_SERVICE_K", "7")
+        args = build_parser().parse_args(["serve", "--workers", "2"])
+        config = _serve_config(args)
+        assert config.workers == 2  # flag beats env
+        assert config.k == 7  # env beats default
