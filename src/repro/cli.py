@@ -119,6 +119,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="record routing: 'hash' (balanced, data-oblivious) or 'horpart' "
         "(groups similar records per shard for better utility)",
     )
+    anonymize.add_argument(
+        "--spill-dir",
+        default=None,
+        help="directory for --stream spill files; setting it also enables "
+        "durable checkpointing (manifest + per-shard snapshots) there, so "
+        "a crashed run can be finished with --resume",
+    )
+    anonymize.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a crashed checkpointed run from the manifest in "
+        "--spill-dir instead of starting over (requires --stream and "
+        "--spill-dir; completed shards are loaded, not re-run)",
+    )
+    anonymize.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="abort the run with an error if it exceeds this many seconds "
+        "(checked at pipeline phase boundaries)",
+    )
 
     reconstruct = subparsers.add_parser(
         "reconstruct", help="sample a reconstructed dataset from a published JSON"
@@ -200,6 +221,13 @@ def _cmd_anonymize(args) -> int:
     # The CLI is a one-request caller of the same service facade that
     # long-lived deployments hold open; --stream simply forces the routing
     # the service would otherwise decide from input size.
+    if args.resume and not (args.stream and args.spill_dir):
+        print(
+            "error: --resume requires --stream and --spill-dir (only "
+            "checkpointed streaming runs leave a manifest to resume from)",
+            file=sys.stderr,
+        )
+        return 2
     config = ServiceConfig(
         k=args.k,
         m=args.m,
@@ -211,9 +239,13 @@ def _cmd_anonymize(args) -> int:
         shards=args.shards,
         max_records_in_memory=args.max_records_in_memory,
         shard_strategy=args.shard_strategy,
+        spill_dir=args.spill_dir,
     )
     request = AnonymizationRequest(
-        args.input, mode="stream" if args.stream else "batch"
+        args.input,
+        mode="stream" if args.stream else "batch",
+        deadline=args.deadline,
+        resume=args.resume,
     )
     with AnonymizationService(config) as service:
         result = service.run(request)

@@ -51,7 +51,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, Sequence
 
-from repro.core import kernels
+from repro import faults
+from repro.core import deadline, kernels
 from repro.core.clusters import Cluster, DisassociatedDataset, SimpleCluster
 from repro.core.dataset import TransactionDataset
 from repro.core.horizontal import (
@@ -325,8 +326,16 @@ class Pipeline:
         return f"Pipeline({[phase.name for phase in self.phases]})"
 
     def run(self, ctx: PipelineContext) -> PipelineContext:
-        """Run every phase in order, timing each into the context's report."""
+        """Run every phase in order, timing each into the context's report.
+
+        Before each phase the pipeline visits the ``engine.<phase>`` fault
+        injection point and checks the ambient request deadline, so an
+        expired deadline (or an armed test fault) aborts at a phase
+        boundary with the context still internally consistent.
+        """
         for phase in self.phases:
+            faults.check(f"engine.{phase.name}")
+            deadline.check(f"engine.{phase.name}")
             start = time.perf_counter()
             phase.run(ctx)
             elapsed = time.perf_counter() - start

@@ -69,6 +69,51 @@ class MiningError(ReproError):
     (e.g. a non-positive ``top_k`` or a negative minimum support)."""
 
 
+class CheckpointError(ReproError):
+    """Raised when a streaming run checkpoint cannot be used.
+
+    Signals a missing, corrupt or incompatible run manifest: resuming
+    without a manifest in the spill directory, a manifest written by an
+    incompatible library version, or a manifest whose recorded parameters
+    do not match the resuming pipeline's (silently resuming with different
+    ``k``/``m``/sharding would splice incompatible partial results into one
+    publication).
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when a request exceeds its execution deadline.
+
+    Checked between pipeline phases (and at job dequeue in the service
+    layer), so a deadline aborts a run at the next phase boundary instead
+    of mid-phase.  ``where`` names the checkpoint that observed the expiry
+    (e.g. ``"engine.refine"``); ``budget`` is the deadline in seconds.
+    """
+
+    def __init__(self, message: str, *, where: str = "", budget: float = 0.0):
+        super().__init__(message)
+        self.where = where
+        self.budget = budget
+
+
+class FaultInjected(ReproError):
+    """Raised by an armed :class:`repro.faults.FaultPlan` at an injection point.
+
+    Only the deterministic fault-injection harness (:mod:`repro.faults`)
+    raises this; production code never does.  ``point`` names the injection
+    point that fired and ``hit`` the 1-based arrival count that triggered
+    it.  ``transient`` marks the fault as retryable -- the service layer's
+    retry policy treats transient injected faults exactly like a crashed
+    worker pool, which is what the resilience test suite relies on.
+    """
+
+    def __init__(self, point: str, hit: int, *, transient: bool = True):
+        super().__init__(f"injected fault at {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+        self.transient = transient
+
+
 class EngineClosedError(ReproError):
     """Raised when a closed :class:`~repro.core.engine.Disassociator` is used.
 
@@ -93,3 +138,18 @@ class ServiceClosedError(ServiceError):
 class ServiceSaturatedError(ServiceError):
     """Raised by non-blocking :meth:`~repro.service.AnonymizationService.submit`
     when the bounded job queue is full (the service is saturated)."""
+
+
+class RetriesExhaustedError(ServiceError):
+    """Raised when a request keeps failing transiently through every retry.
+
+    The service retried the request per its
+    :class:`~repro.service.RetryPolicy` (crashed worker pools and injected
+    transient faults are retryable; parameter and dataset errors are not)
+    and every attempt failed.  The last transient failure is chained as
+    ``__cause__``; ``attempts`` records how many executions were tried.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 1):
+        super().__init__(message)
+        self.attempts = attempts

@@ -17,14 +17,19 @@ The public surface of the service layer:
   ``GET /jobs/<id>``, ``GET /stats``, ``GET /healthz``, with the bounded
   job queue mapped to 429/503 backpressure.
 * :class:`~repro.service.metrics.ServiceMetrics` -- per-request latency
-  and queue-wait histograms, phase timings and worker utilization behind
+  and queue-wait histograms, phase timings, worker utilization and
+  failure accounting (retries, deadline expiries, engine rebuilds) behind
   :meth:`AnonymizationService.stats`.
+* :class:`RetryPolicy` -- bounded exponential-backoff retry of transient
+  failures (crashed worker pools, injected faults), applied per request
+  together with its deadline (``AnonymizationRequest.deadline`` /
+  ``ServiceConfig.default_deadline``).
 
 The legacy one-shot entry points (:func:`repro.anonymize`,
 :func:`repro.anonymize_stream`, the CLI) are thin shims over this layer.
 """
 
-from repro.service.config import ENV_PREFIX, ServiceConfig
+from repro.service.config import ENV_PREFIX, RetryPolicy, ServiceConfig
 from repro.service.http import ServiceHTTPServer, serve
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.request import MODES, AnonymizationRequest, PublicationResult
@@ -38,6 +43,7 @@ __all__ = [
     "Job",
     "LatencyHistogram",
     "PublicationResult",
+    "RetryPolicy",
     "ServiceConfig",
     "ServiceHTTPServer",
     "ServiceMetrics",

@@ -43,6 +43,100 @@ _FALSE = frozenset({"0", "false", "no", "off"})
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient request failures.
+
+    The service re-executes a request that failed *transiently* (a crashed
+    worker-process pool, an injected transient fault -- never parameter or
+    dataset errors) up to ``attempts`` total executions, sleeping
+    ``backoff * multiplier**(n-1)`` seconds (capped at ``max_backoff``)
+    after the ``n``-th failure.  Retries never sleep past a request's
+    deadline, and a request whose source cannot be safely re-read (a plain
+    iterable, already partially consumed) is never retried.
+
+    ``attempts=1`` disables retry entirely.
+    """
+
+    attempts: int = 2
+    backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+
+    def __post_init__(self):
+        if not isinstance(self.attempts, int) or self.attempts < 1:
+            raise ParameterError(
+                f"retry attempts must be a positive integer, got {self.attempts!r}"
+            )
+        if self.backoff < 0:
+            raise ParameterError(f"retry backoff must be >= 0, got {self.backoff}")
+        if self.multiplier < 1.0:
+            raise ParameterError(
+                f"retry multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_backoff < 0:
+            raise ParameterError(
+                f"retry max_backoff must be >= 0, got {self.max_backoff}"
+            )
+
+    def delay(self, failed_attempts: int) -> float:
+        """Seconds to sleep after the ``failed_attempts``-th failure (1-based)."""
+        return min(
+            self.backoff * self.multiplier ** (max(failed_attempts, 1) - 1),
+            self.max_backoff,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form; round-trips through :meth:`from_dict`."""
+        return {
+            "attempts": self.attempts,
+            "backoff": self.backoff,
+            "multiplier": self.multiplier,
+            "max_backoff": self.max_backoff,
+        }
+
+    def to_text(self) -> str:
+        """The env-variable syntax; round-trips through :meth:`from_text`."""
+        return (
+            f"attempts={self.attempts},backoff={self.backoff},"
+            f"multiplier={self.multiplier},max_backoff={self.max_backoff}"
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RetryPolicy":
+        """Build a policy from a mapping; unknown keys raise."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ParameterError(
+                f"unknown RetryPolicy keys: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        return cls(**dict(payload))
+
+    @classmethod
+    def from_text(cls, text: str) -> "RetryPolicy":
+        """Parse ``"attempts=3,backoff=0.1,..."`` (the env-variable syntax)."""
+        values: dict = {}
+        for raw in text.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            name, sep, value = token.partition("=")
+            name = name.strip()
+            if not sep:
+                raise ParameterError(
+                    f"malformed retry token {token!r}: expected name=value"
+                )
+            try:
+                values[name] = int(value) if name == "attempts" else float(value)
+            except ValueError:
+                raise ParameterError(
+                    f"malformed retry value in {token!r}"
+                ) from None
+        return cls.from_dict(values)
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Every knob of the anonymization service, validated once.
 
@@ -69,6 +163,20 @@ class ServiceConfig:
         auto_stream_threshold: record count above which an ``"auto"``
             request is routed to the streaming pipeline instead of the
             in-memory one; ``None`` uses ``max_records_in_memory``.
+        checkpoint: streaming checkpoint switch, passed straight through to
+            :class:`StreamParams`: ``None`` (default) checkpoints exactly
+            when ``spill_dir`` is set, ``False`` disables the manifest on
+            an explicit ``spill_dir``, ``True`` requires one.
+        default_deadline: execution budget in seconds applied to every
+            request that does not set its own
+            :attr:`~repro.service.request.AnonymizationRequest.deadline`.
+            The clock starts when the request enters the service (queue
+            wait counts), and expiry aborts at the next pipeline phase
+            boundary with
+            :class:`~repro.exceptions.DeadlineExceededError`.  ``None``
+            (default): no deadline.
+        retry: the :class:`RetryPolicy` for transient request failures
+            (crashed worker pools, injected transient faults).
         max_pending: bound on the service's job queue (``submit`` blocks --
             or raises, when non-blocking -- once this many jobs wait).
         workers: service worker threads draining the job queue.  Each
@@ -97,7 +205,10 @@ class ServiceConfig:
     shard_strategy: str = "hash"
     spill_dir: Optional[str] = None
     reuse_vocabulary: bool = True
+    checkpoint: Optional[bool] = None
     auto_stream_threshold: Optional[int] = None
+    default_deadline: Optional[float] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     max_pending: int = 32
     workers: int = 1
 
@@ -107,6 +218,22 @@ class ServiceConfig:
         )
         if self.spill_dir is not None:
             object.__setattr__(self, "spill_dir", str(self.spill_dir))
+        # Accept the retry policy in any of its serialized shapes, so
+        # from_dict/from_env round-trip without the caller pre-parsing.
+        if isinstance(self.retry, str):
+            object.__setattr__(self, "retry", RetryPolicy.from_text(self.retry))
+        elif isinstance(self.retry, Mapping):
+            object.__setattr__(self, "retry", RetryPolicy.from_dict(self.retry))
+        elif not isinstance(self.retry, RetryPolicy):
+            raise ParameterError(
+                f"retry must be a RetryPolicy (or its dict/text form), "
+                f"got {self.retry!r}"
+            )
+        if self.default_deadline is not None and not self.default_deadline > 0:
+            raise ParameterError(
+                f"default_deadline must be positive seconds, "
+                f"got {self.default_deadline!r}"
+            )
         # Delegate the cross-field invariants to the legacy parameter
         # classes: building them validates them.
         self.engine_params()
@@ -158,6 +285,7 @@ class ServiceConfig:
             strategy=self.shard_strategy,
             spill_dir=self.spill_dir,
             reuse_vocabulary=self.reuse_vocabulary,
+            checkpoint=self.checkpoint,
         )
         values.update(overrides)
         return StreamParams(**values)
@@ -181,6 +309,10 @@ class ServiceConfig:
             value = getattr(self, spec.name)
             if isinstance(value, frozenset):
                 value = sorted(value)
+            elif isinstance(value, RetryPolicy):
+                # The compact text form: JSON-safe, ``str()``-stable, and
+                # accepted verbatim by from_dict/from_env/__post_init__.
+                value = value.to_text()
             payload[spec.name] = value
         return payload
 
@@ -261,14 +393,18 @@ _INT_FIELDS = frozenset(
 )
 _OPTIONAL_INT_FIELDS = frozenset({"max_join_size", "auto_stream_threshold"})
 _BOOL_FIELDS = frozenset({"refine", "verify", "reuse_vocabulary"})
+_OPTIONAL_BOOL_FIELDS = frozenset({"checkpoint"})
+_OPTIONAL_FLOAT_FIELDS = frozenset({"default_deadline"})
 _OPTIONAL_STR_FIELDS = frozenset({"kernels", "spill_dir"})
 
 
 def _parse_env_value(name: str, raw: str):
     """Parse one ``REPRO_SERVICE_*`` value into its field's type."""
     text = raw.strip()
-    if name in _BOOL_FIELDS:
+    if name in _BOOL_FIELDS or name in _OPTIONAL_BOOL_FIELDS:
         lowered = text.lower()
+        if name in _OPTIONAL_BOOL_FIELDS and lowered in ("", "none"):
+            return None
         if lowered in _TRUE:
             return True
         if lowered in _FALSE:
@@ -277,6 +413,19 @@ def _parse_env_value(name: str, raw: str):
             f"{ENV_PREFIX}{name.upper()}: expected a boolean "
             f"(1/0, true/false, yes/no, on/off), got {raw!r}"
         )
+    if name in _OPTIONAL_FLOAT_FIELDS:
+        if text.lower() in ("", "none"):
+            return None
+        try:
+            return float(text)
+        except ValueError:
+            raise ParameterError(
+                f"{ENV_PREFIX}{name.upper()}: expected a number of seconds, "
+                f"got {raw!r}"
+            ) from None
+    if name == "retry":
+        # "attempts=3,backoff=0.1" -- RetryPolicy's text form.
+        return RetryPolicy.from_text(text)
     if name in _INT_FIELDS or name in _OPTIONAL_INT_FIELDS:
         if name in _OPTIONAL_INT_FIELDS and text.lower() in ("", "none"):
             return None

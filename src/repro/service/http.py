@@ -24,10 +24,18 @@ Endpoints:
 * ``GET /healthz`` -- liveness: ``200`` while the service accepts work,
   ``503`` once it is closed.
 
-Error mapping: malformed JSON / unknown knobs / invalid records answer
-``400`` with ``{"error": ...}``; unknown paths ``404``; wrong methods
-``405``; queue saturation ``429``; closed service ``503``; anything
-unexpected ``500``.  The publication bytes are exactly
+Error mapping: every error body is ``{"error": <message>, "kind":
+<machine-readable kind>}``.  Malformed JSON / unknown knobs / invalid
+records answer ``400`` (kind ``bad_request``); unknown paths ``404``;
+wrong methods ``405``; oversize bodies ``413`` (kind ``too_large``);
+queue saturation ``429`` with ``Retry-After`` (kind ``saturated``); a
+closed service ``503`` (kind ``closed``); a request whose transient
+failures outlived its retry budget ``503`` with ``Retry-After`` (kind
+``retries_exhausted``); an expired request deadline ``504`` (kind
+``deadline_exceeded``); anything unexpected ``500`` (kind ``internal``).
+``POST /anonymize`` additionally accepts ``"deadline"`` (seconds budget
+for this request) and ``"resume"`` (resume a checkpointed streaming run;
+requires ``"mode": "stream"``).  The publication bytes are exactly
 ``service.run(...)``'s (bit-for-bit; covered by the test suite and the
 throughput benchmark).
 """
@@ -42,8 +50,10 @@ from typing import Optional
 
 from repro.exceptions import (
     DatasetError,
+    DeadlineExceededError,
     ParameterError,
     ReproError,
+    RetriesExhaustedError,
     ServiceClosedError,
     ServiceSaturatedError,
 )
@@ -62,6 +72,28 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 #: Finished jobs retained for ``GET /jobs/<id>`` before the oldest are
 #: evicted (pending/running jobs are never evicted).
 MAX_RETAINED_JOBS = 1024
+
+
+def classify_error(exc: BaseException) -> tuple:
+    """Map a service exception to ``(status, kind, extra headers)``.
+
+    One mapping shared by the synchronous ``POST /anonymize`` path and the
+    failed-job payloads of ``GET /jobs/<id>``, so a failure reports the
+    same machine-readable ``kind`` whether the caller waited inline or
+    polled.  Order matters: the specific service failures are subclasses
+    of :class:`ReproError` and must be matched first.
+    """
+    if isinstance(exc, DeadlineExceededError):
+        return 504, "deadline_exceeded", ()
+    if isinstance(exc, RetriesExhaustedError):
+        return 503, "retries_exhausted", (("Retry-After", "1"),)
+    if isinstance(exc, ServiceSaturatedError):
+        return 429, "saturated", (("Retry-After", "1"),)
+    if isinstance(exc, ServiceClosedError):
+        return 503, "closed", ()
+    if isinstance(exc, (ParameterError, DatasetError)):
+        return 400, "bad_request", ()
+    return 500, "internal", ()
 
 
 class _JobRegistry:
@@ -101,6 +133,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     service: AnonymizationService
     registry: _JobRegistry
     quiet: bool = True
+    max_body_bytes: int = MAX_BODY_BYTES
 
     protocol_version = "HTTP/1.1"
 
@@ -128,11 +161,13 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             length = int(length)
         except ValueError:
             raise _HttpError(400, f"malformed Content-Length: {length!r}") from None
-        if length > MAX_BODY_BYTES:
+        if length > self.max_body_bytes:
             raise _HttpError(
                 413,
-                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte "
-                "cap; stream large datasets from a file instead of POSTing inline",
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte cap; stream large datasets from "
+                "a file instead of POSTing inline",
+                kind="too_large",
             )
         raw = self.rfile.read(length)
         try:
@@ -156,31 +191,41 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._handle_job(path[len("/jobs/"):])
             elif path in ("/anonymize",):
                 self._send_json(
-                    405, {"error": "POST /anonymize"}, headers=[("Allow", "POST")]
+                    405,
+                    {"error": "POST /anonymize", "kind": "method_not_allowed"},
+                    headers=[("Allow", "POST")],
                 )
             else:
-                self._send_json(404, {"error": f"unknown path {path!r}"})
+                self._send_json(
+                    404, {"error": f"unknown path {path!r}", "kind": "not_found"}
+                )
         except _HttpError as exc:
-            self._send_json(exc.status, {"error": exc.message})
+            self._send_json(exc.status, {"error": exc.message, "kind": exc.kind})
         except BrokenPipeError:  # client went away mid-response
             pass
         except Exception as exc:  # pragma: no cover - defensive 500
-            self._send_json(500, {"error": f"internal error: {exc}"})
+            self._send_json(
+                500, {"error": f"internal error: {exc}", "kind": "internal"}
+            )
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
         """Serve ``POST /anonymize`` (sync and async job submission)."""
         try:
             path = self.path.split("?", 1)[0].rstrip("/")
             if path != "/anonymize":
-                self._send_json(404, {"error": f"unknown path {path!r}"})
+                self._send_json(
+                    404, {"error": f"unknown path {path!r}", "kind": "not_found"}
+                )
                 return
             self._handle_anonymize(self._read_json_body())
         except _HttpError as exc:
-            self._send_json(exc.status, {"error": exc.message})
+            self._send_json(exc.status, {"error": exc.message, "kind": exc.kind})
         except BrokenPipeError:
             pass
         except Exception as exc:  # pragma: no cover - defensive 500
-            self._send_json(500, {"error": f"internal error: {exc}"})
+            self._send_json(
+                500, {"error": f"internal error: {exc}", "kind": "internal"}
+            )
 
     # -- endpoints ------------------------------------------------------- #
     def _handle_healthz(self) -> None:
@@ -204,9 +249,13 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             payload["summary"] = result.summary()
             payload["publication"] = result.to_dict()
         elif state == "failed":
-            payload["error"] = str(job.exception(timeout=0))
+            exc = job.exception(timeout=0)
+            _, kind, _ = classify_error(exc)
+            payload["error"] = str(exc)
+            payload["kind"] = kind
         elif state == "cancelled":
             payload["error"] = "job was cancelled before it ran"
+            payload["kind"] = "cancelled"
         self._send_json(200, payload)
 
     def _handle_anonymize(self, payload: dict) -> None:
@@ -220,20 +269,23 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             "mode": payload.get("mode", "auto"),
             "overrides": payload.get("overrides") or {},
             "tag": payload.get("tag"),
+            "deadline": payload.get("deadline"),
+            "resume": bool(payload.get("resume", False)),
         }
         try:
             # Non-blocking submit on both shapes: a full job queue answers
             # 429 immediately instead of parking connection threads, and
             # the queue-wait of every HTTP request lands in the metrics.
             job = self.service.submit(records, block=False, **request_fields)
-        except ServiceSaturatedError as exc:
-            self._send_json(429, {"error": str(exc)}, headers=[("Retry-After", "1")])
-            return
-        except ServiceClosedError as exc:
-            self._send_json(503, {"error": str(exc)})
-            return
-        except (ParameterError, DatasetError) as exc:
+        except (TypeError, ValueError) as exc:
+            # e.g. a non-numeric "deadline" in the body: caller error.
             raise _HttpError(400, str(exc)) from None
+        except ReproError as exc:
+            status, kind, headers = classify_error(exc)
+            self._send_json(
+                status, {"error": str(exc), "kind": kind}, headers=headers
+            )
+            return
         if run_async:
             job_id = self.registry.add(job)
             self._send_json(
@@ -243,13 +295,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         try:
             result = job.result()
-        except ServiceClosedError as exc:
-            self._send_json(503, {"error": str(exc)})
-            return
-        except (ParameterError, DatasetError) as exc:
-            raise _HttpError(400, str(exc)) from None
         except ReproError as exc:
-            self._send_json(500, {"error": str(exc)})
+            status, kind, headers = classify_error(exc)
+            self._send_json(
+                status, {"error": str(exc), "kind": kind}, headers=headers
+            )
             return
         self._send_json(
             200,
@@ -263,12 +313,13 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
 
 class _HttpError(Exception):
-    """Internal control-flow error carrying an HTTP status + message."""
+    """Internal control-flow error carrying an HTTP status + message + kind."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, kind: str = "bad_request"):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.kind = kind
 
 
 class ServiceHTTPServer:
@@ -281,6 +332,8 @@ class ServiceHTTPServer:
         own_service: when true (default), :meth:`close` also closes the
             service; pass ``False`` to share an externally-managed service.
         quiet: suppress the stdlib per-request log lines.
+        max_body_bytes: cap on ``POST`` bodies (``413`` above it); defaults
+            to :data:`MAX_BODY_BYTES`.
 
     Use :meth:`serve_forever` to block (the CLI does), or :meth:`start`
     to serve from a background thread::
@@ -300,6 +353,7 @@ class ServiceHTTPServer:
         *,
         own_service: bool = True,
         quiet: bool = True,
+        max_body_bytes: int = MAX_BODY_BYTES,
     ):
         self.service = service
         self.own_service = own_service
@@ -307,7 +361,12 @@ class ServiceHTTPServer:
         handler = type(
             "_BoundServiceRequestHandler",
             (_ServiceRequestHandler,),
-            {"service": service, "registry": registry, "quiet": quiet},
+            {
+                "service": service,
+                "registry": registry,
+                "quiet": quiet,
+                "max_body_bytes": int(max_body_bytes),
+            },
         )
         self.registry = registry
         self._httpd = ThreadingHTTPServer((host, port), handler)

@@ -11,7 +11,11 @@ calls and queued ``submit()`` jobs alike):
   batch runs, plan / shard / anonymize / merge / verify for streamed
   ones), accumulated from each run's report;
 * **worker utilization**: per-worker busy seconds against the service's
-  own lifetime, plus in-flight and saturation counters.
+  own lifetime, plus in-flight and saturation counters;
+* **failure accounting**: transient retries, deadline expiries, exhausted
+  retry budgets and crashed-engine rebuilds (the ``failures`` section of
+  the snapshot), so an operator can tell a saturated service from a dying
+  one at a glance.
 
 Everything is aggregated in one :class:`ServiceMetrics` object behind a
 single lock -- observation is a few dict updates, orders of magnitude
@@ -139,6 +143,10 @@ class ServiceMetrics:
         self._jobs_submitted = 0
         self._jobs_cancelled = 0
         self._rejected_saturated = 0
+        self._retries = 0
+        self._deadline_exceeded = 0
+        self._retries_exhausted = 0
+        self._engines_rebuilt = 0
         self._phase_seconds: dict[str, float] = {}
         self._worker_busy: dict[str, float] = {}
 
@@ -195,6 +203,26 @@ class ServiceMetrics:
         with self._lock:
             self._rejected_saturated += 1
 
+    def request_retried(self) -> None:
+        """A transiently-failed request was re-executed under the retry policy."""
+        with self._lock:
+            self._retries += 1
+
+    def deadline_exceeded(self) -> None:
+        """A request was aborted because its deadline expired."""
+        with self._lock:
+            self._deadline_exceeded += 1
+
+    def retries_exhausted(self) -> None:
+        """A request kept failing transiently through its last allowed attempt."""
+        with self._lock:
+            self._retries_exhausted += 1
+
+    def engine_rebuilt(self) -> None:
+        """A crashed pooled engine was replaced with a fresh one."""
+        with self._lock:
+            self._engines_rebuilt += 1
+
     # -- reading ---------------------------------------------------------- #
     @property
     def requests_completed(self) -> int:
@@ -222,6 +250,12 @@ class ServiceMetrics:
                     "submitted": self._jobs_submitted,
                     "cancelled": self._jobs_cancelled,
                     "rejected_saturated": self._rejected_saturated,
+                },
+                "failures": {
+                    "retries": self._retries,
+                    "deadline_exceeded": self._deadline_exceeded,
+                    "retries_exhausted": self._retries_exhausted,
+                    "engines_rebuilt": self._engines_rebuilt,
                 },
                 "latency": {
                     "request_seconds": self.request_latency.snapshot(),

@@ -52,6 +52,15 @@ class AnonymizationRequest:
             when the request executes.
         tag: optional caller-chosen label, echoed on the result (useful for
             correlating submitted jobs with their callers).
+        deadline: execution budget in seconds for this request, overriding
+            the service's ``default_deadline``.  The clock starts when the
+            request enters the service (queue wait counts) and expiry
+            aborts at the next pipeline phase boundary with
+            :class:`~repro.exceptions.DeadlineExceededError`.
+        resume: resume a crashed checkpointed streaming run from the
+            manifest in the configured ``spill_dir`` instead of starting
+            over (requires ``mode="stream"``; see
+            :meth:`repro.stream.ShardedPipeline.run`).
     """
 
     source: Union[TransactionDataset, PathLike, Any]
@@ -60,10 +69,21 @@ class AnonymizationRequest:
     delimiter: Optional[str] = None
     overrides: Mapping = field(default_factory=dict)
     tag: Optional[str] = None
+    deadline: Optional[float] = None
+    resume: bool = False
 
     def __post_init__(self):
         if self.mode not in MODES:
             raise ParameterError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.deadline is not None and not self.deadline > 0:
+            raise ParameterError(
+                f"deadline must be positive seconds, got {self.deadline!r}"
+            )
+        if self.resume and self.mode != "stream":
+            raise ParameterError(
+                'resume=True requires mode="stream": only checkpointed '
+                "streaming runs leave a manifest to resume from"
+            )
         overrides = dict(self.overrides)
         # Fail fast on misspelled knobs (the values themselves are
         # validated when the merged ServiceConfig is built at execution).

@@ -42,17 +42,23 @@ import queue
 import threading
 import time
 from concurrent.futures import CancelledError, Future
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import fields
 from itertools import chain, islice
 from typing import Iterator, Optional
 
+from repro import faults
+from repro.core import deadline as deadline_mod
 from repro.core import kernels
 from repro.core.dataset import TransactionDataset
 from repro.core.engine import AnonymizationParams, Disassociator
 from repro.core.vocab import Vocabulary
 from repro.datasets.io import iter_records
 from repro.exceptions import (
+    DeadlineExceededError,
+    FaultInjected,
     ParameterError,
+    RetriesExhaustedError,
     ServiceClosedError,
     ServiceSaturatedError,
 )
@@ -74,6 +80,23 @@ _ENGINE_IDENTITY_FIELDS = ("backend", "jobs", "kernels")
 _REQUEST_FIELDS = tuple(
     spec.name for spec in fields(AnonymizationRequest) if spec.name != "source"
 )
+
+
+class _EngineLease:
+    """The engine one executing request holds, swappable mid-request.
+
+    A request checks an engine out of the idle pool for its whole
+    execution.  When that engine's worker-process pool crashes
+    (``BrokenProcessPool``), the service rebuilds the engine *during* the
+    request -- the lease then points at the replacement, and it is the
+    replacement (never the crashed engine) that goes back to the idle pool
+    in the caller's ``finally``.
+    """
+
+    __slots__ = ("engine",)
+
+    def __init__(self, engine: Disassociator):
+        self.engine = engine
 
 
 class Job:
@@ -327,11 +350,13 @@ class AnonymizationService:
         busy).
         """
         request = self._coerce(request, kwargs)
-        engine = self._checkout_engine()
+        lease = _EngineLease(self._checkout_engine())
         try:
-            return self._execute(request, engine, worker="caller")
+            return self._execute(request, lease, worker="caller")
         finally:
-            self._idle.put(engine)
+            # The lease may point at a rebuilt engine by now; that (healthy)
+            # engine is what rejoins the pool.
+            self._idle.put(lease.engine)
 
     def submit(
         self,
@@ -450,25 +475,27 @@ class AnonymizationService:
                     self._metrics.job_cancelled()
                     continue
                 queue_wait = time.monotonic() - item._enqueued_at
-                engine = self._idle.get()
+                lease = _EngineLease(self._idle.get())
                 try:
                     try:
                         result = self._execute(
-                            item.request, engine, worker=name, queue_wait=queue_wait
+                            item.request, lease, worker=name, queue_wait=queue_wait
                         )
                     except BaseException as exc:
                         item._future.set_exception(exc)
                     else:
                         item._future.set_result(result)
                 finally:
-                    self._idle.put(engine)
+                    # A crashed engine was already replaced on the lease;
+                    # only healthy engines rejoin the pool.
+                    self._idle.put(lease.engine)
             finally:
                 self._queue.task_done()
 
     def _execute(
         self,
         request: AnonymizationRequest,
-        engine: Disassociator,
+        lease: _EngineLease,
         *,
         worker: str,
         queue_wait: Optional[float] = None,
@@ -478,32 +505,172 @@ class AnonymizationService:
             config = config.with_overrides(**request.overrides)
         self._metrics.request_started()
         start = time.perf_counter()
-        mode: Optional[str] = None
-        report = None
+        state: dict = {"mode": None, "report": None}
         error = True
         try:
-            mode, stream_source, dataset = self._route(request, config)
-            if mode == "batch":
-                published, report = self._run_batch(dataset, config, engine)
-                result = PublicationResult(
-                    published, report, "batch", config, original=dataset, tag=request.tag
-                )
-            else:
-                published, report = self._run_stream(stream_source, config, engine)
-                result = PublicationResult(
-                    published, report, "stream", config, tag=request.tag
-                )
+            result = self._execute_with_retry(
+                request, config, lease, queue_wait=queue_wait, state=state
+            )
             error = False
             return result
+        except DeadlineExceededError:
+            self._metrics.deadline_exceeded()
+            raise
         finally:
+            report = state["report"]
             self._metrics.request_finished(
                 seconds=time.perf_counter() - start,
-                mode=mode,
+                mode=state["mode"],
                 error=error,
                 queue_wait=queue_wait,
                 worker=worker,
                 phase_timings=report.phase_timings() if report is not None else None,
             )
+
+    def _execute_with_retry(
+        self,
+        request: AnonymizationRequest,
+        config: ServiceConfig,
+        lease: _EngineLease,
+        *,
+        queue_wait: Optional[float],
+        state: dict,
+    ) -> PublicationResult:
+        """Run the request under its deadline and the service retry policy.
+
+        The deadline is anchored at *enqueue* time (queue wait spends
+        budget), enforced here at dequeue and then cooperatively at every
+        pipeline phase boundary through the ambient
+        :mod:`repro.core.deadline` scope.  Transient failures -- a crashed
+        worker-process pool (the engine is rebuilt on the lease first) or
+        an injected transient fault -- are retried with exponential
+        backoff, but only when the request's source can be re-read from
+        scratch (a file path or an in-memory dataset; a half-consumed
+        iterable cannot be safely replayed).  The final transient failure
+        surfaces as :class:`RetriesExhaustedError` with the cause chained.
+        """
+        policy = config.retry
+        budget = (
+            request.deadline
+            if request.deadline is not None
+            else config.default_deadline
+        )
+        request_deadline = None
+        if budget is not None:
+            anchor = time.monotonic() - (queue_wait or 0.0)
+            request_deadline = deadline_mod.Deadline(budget, anchor=anchor)
+            # Enforced at dequeue: a job that already overstayed its budget
+            # in the queue fails immediately instead of burning a worker.
+            request_deadline.check("service.dequeue")
+        failed_attempts = 0
+        while True:
+            try:
+                faults.check("service.execute")
+                with deadline_mod.scope(request_deadline):
+                    return self._execute_once(request, config, lease, state)
+            except (BrokenProcessPool, FaultInjected) as exc:
+                if isinstance(exc, BrokenProcessPool):
+                    # Never park a crashed engine back in the pool: replace
+                    # it on the lease before deciding whether to retry.
+                    self._rebuild_engine(lease)
+                failed_attempts += 1
+                if not self._transient(exc) or not self._replayable(request):
+                    raise
+                if failed_attempts >= policy.attempts:
+                    self._metrics.retries_exhausted()
+                    raise RetriesExhaustedError(
+                        f"request failed transiently {failed_attempts} time(s); "
+                        f"retry policy allows {policy.attempts} attempt(s) "
+                        f"({exc})",
+                        attempts=failed_attempts,
+                    ) from exc
+                delay = policy.delay(failed_attempts)
+                if request_deadline is not None:
+                    # Sleeping past the deadline would turn a retryable
+                    # blip into a guaranteed deadline failure; expire now
+                    # if no budget is left for another attempt.
+                    request_deadline.check("service.retry")
+                    delay = min(delay, max(request_deadline.remaining(), 0.0))
+                self._metrics.request_retried()
+                if delay > 0:
+                    time.sleep(delay)
+
+    def _execute_once(
+        self,
+        request: AnonymizationRequest,
+        config: ServiceConfig,
+        lease: _EngineLease,
+        state: dict,
+    ) -> PublicationResult:
+        """One routing + execution attempt (state carries mode/report out)."""
+        state["mode"], state["report"] = None, None
+        mode, stream_source, dataset = self._route(request, config)
+        state["mode"] = mode
+        if mode == "batch":
+            published, report = self._run_batch(dataset, config, lease.engine)
+            state["report"] = report
+            return PublicationResult(
+                published, report, "batch", config, original=dataset, tag=request.tag
+            )
+        published, report = self._run_stream(
+            stream_source, config, lease.engine, resume=request.resume
+        )
+        state["report"] = report
+        return PublicationResult(published, report, "stream", config, tag=request.tag)
+
+    @staticmethod
+    def _transient(exc: BaseException) -> bool:
+        """Whether a failure is worth retrying on a healthy engine."""
+        if isinstance(exc, BrokenProcessPool):
+            return True
+        if isinstance(exc, FaultInjected):
+            return exc.transient
+        return False
+
+    @staticmethod
+    def _replayable(request: AnonymizationRequest) -> bool:
+        """Whether the request's source can be re-read for a retry.
+
+        Paths are re-opened, and datasets and in-memory sequences (e.g.
+        the record lists the HTTP front door posts) re-iterated from
+        scratch; a plain one-shot iterable may already be partially
+        consumed by the failed attempt, so replaying it would silently
+        anonymize a truncated stream.
+        """
+        return (
+            request.is_path
+            or request.is_dataset
+            or isinstance(request.source, (list, tuple))
+        )
+
+    def _rebuild_engine(self, lease: _EngineLease) -> None:
+        """Replace the lease's crashed engine with a fresh warm one.
+
+        The crashed engine is closed best-effort (its pool may already be
+        gone), a replacement sharing the service vocabulary takes its slot
+        in the engine list, and the lease is repointed -- so whatever the
+        request's outcome, the idle pool only ever gets healthy engines
+        back.
+        """
+        crashed = lease.engine
+        try:
+            crashed.close()
+        except Exception:  # already half-dead; nothing useful to do
+            pass
+        fresh = Disassociator(
+            self.config.engine_params(kernels=self.kernels),
+            keep_pool=True,
+            vocabulary=self._vocabulary,
+        )
+        with self._state_lock:
+            for index, engine in enumerate(self._engines):
+                if engine is crashed:
+                    self._engines[index] = fresh
+                    break
+            if self._engine is crashed:
+                self._engine = fresh
+        lease.engine = fresh
+        self._metrics.engine_rebuilt()
 
     def _route(self, request: AnonymizationRequest, config: ServiceConfig):
         """Decide batch vs stream; returns ``(mode, stream_source, dataset)``.
@@ -572,14 +739,21 @@ class AnonymizationService:
         published = engine.anonymize(dataset)
         return published, engine.last_report
 
-    def _run_stream(self, records, config: ServiceConfig, engine: Disassociator):
+    def _run_stream(
+        self,
+        records,
+        config: ServiceConfig,
+        engine: Disassociator,
+        *,
+        resume: bool = False,
+    ):
         params = self._engine_params(config)
         pipeline = ShardedPipeline(
             params,
             config.stream_params(),
             window_engine=self._warm_engine_for(params, engine),
         )
-        published = pipeline.run(records)
+        published = pipeline.run(records, resume=resume)
         return published, pipeline.last_report
 
 

@@ -12,7 +12,11 @@ stream and anonymizing each shard in bounded-memory windows:
 * :mod:`repro.stream.boundary` -- the global verification pass that
   re-audits the merged publication across shard boundaries and demotes
   boundary-violating terms (the shard-boundary verification rule is
-  documented in that module's docstring).
+  documented in that module's docstring);
+* :mod:`repro.stream.checkpoint` -- the durable :class:`RunManifest` and
+  per-shard publication snapshots behind checkpointed runs, so
+  ``ShardedPipeline.run(resume=True)`` restarts only the shard a crash
+  interrupted and still publishes bit-for-bit identical output.
 
 Typical usage::
 
@@ -31,6 +35,14 @@ from repro.stream.boundary import (
     BoundaryRepairSummary,
     demote_terms,
     verify_and_repair,
+)
+from repro.stream.checkpoint import (
+    MANIFEST_VERSION,
+    RunManifest,
+    load_shard_snapshot,
+    run_fingerprint,
+    save_shard_snapshot,
+    snapshot_path,
 )
 from repro.stream.executor import (
     DEFAULT_MAX_RECORDS_IN_MEMORY,
@@ -53,10 +65,12 @@ from repro.stream.planner import (
 __all__ = [
     "DEFAULT_MAX_RECORDS_IN_MEMORY",
     "DEFAULT_SHARDS",
+    "MANIFEST_VERSION",
     "STRATEGIES",
     "BoundaryRepairSummary",
     "HashShardPlanner",
     "HorpartShardPlanner",
+    "RunManifest",
     "ShardPlanner",
     "ShardedPipeline",
     "ShardedReport",
@@ -64,7 +78,11 @@ __all__ = [
     "anonymize_stream",
     "build_planner",
     "demote_terms",
+    "load_shard_snapshot",
     "record_fingerprint",
     "relabel_cluster",
+    "run_fingerprint",
+    "save_shard_snapshot",
+    "snapshot_path",
     "verify_and_repair",
 ]

@@ -28,6 +28,19 @@ bound.  Intra-window parallelism (``jobs``) is where the cores go; multi-
 host sharding (one shard per host) is the natural next step and only needs
 the spill files shipped.
 
+**Checkpointed runs.**  With an explicit ``spill_dir`` the run is
+checkpointed by default (see :mod:`repro.stream.checkpoint`): a durable
+``manifest.json`` records the plan and the spill completion, and each
+shard's relabeled cluster list is snapshotted once the shard finishes.
+After a crash, ``run(resume=True)`` (or ``repro anonymize --resume``)
+skips every completed shard, re-runs only the interrupted one from its
+spill file, and re-merges -- producing a publication bit-for-bit identical
+to an uninterrupted run, because shards share no state (each gets a fresh
+vocabulary) and merge/verify are deterministic functions of the per-shard
+cluster lists.  The streaming phases double as cooperative cancellation
+points: each visits a :mod:`repro.faults` injection point and checks the
+ambient request deadline (:mod:`repro.core.deadline`).
+
 **Scope of the memory bound.**  ``max_records_in_memory`` bounds the
 *original-record working set*: the planner sample, the spill buffers and
 the window each engine run operates on.  That is where disassociation's
@@ -41,12 +54,14 @@ from the returned clusters so they hold only what would be serialized.
 
 from __future__ import annotations
 
+import gc
 import tempfile
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Union
 
+from repro import faults
 from repro.core.clusters import (
     Cluster,
     DisassociatedDataset,
@@ -54,13 +69,22 @@ from repro.core.clusters import (
     SharedChunk,
     SimpleCluster,
 )
-from repro.core import kernels
+from repro.core import deadline, kernels
 from repro.core.dataset import Record, TransactionDataset, ensure_record
 from repro.core.engine import AnonymizationParams, Disassociator, _fill_report
 from repro.core.vocab import Vocabulary
 from repro.datasets.io import append_jsonl, iter_batches, iter_jsonl, iter_records
-from repro.exceptions import ParameterError
+from repro.exceptions import CheckpointError, ParameterError
 from repro.stream.boundary import BoundaryRepairSummary, verify_and_repair
+from repro.stream.checkpoint import (
+    RunManifest,
+    load_shard_snapshot,
+    run_fingerprint,
+    serialize_shard_snapshot,
+    snapshot_path,
+    spill_path,
+    write_atomic_blob,
+)
 from repro.stream.planner import STRATEGIES, build_planner
 
 PathLike = Union[str, Path]
@@ -97,6 +121,15 @@ class StreamParams:
             decoded string, so the published output is identical with and
             without reuse (covered by the kernel test suite); disable only
             to bound the interning table by window instead of by shard.
+        checkpoint: whether the run writes the durable manifest and
+            per-shard snapshots that make ``resume=True`` possible
+            (:mod:`repro.stream.checkpoint`).  ``None`` (default) enables
+            checkpointing exactly when ``spill_dir`` is set -- durable
+            spills imply a durable run.  ``False`` keeps an explicit
+            ``spill_dir`` manifest-free (e.g. to measure checkpoint
+            overhead); ``True`` without a ``spill_dir`` is rejected, since
+            a checkpoint inside an auto-removed temporary directory could
+            never be resumed.
     """
 
     shards: int = DEFAULT_SHARDS
@@ -104,6 +137,7 @@ class StreamParams:
     strategy: str = "hash"
     spill_dir: Optional[PathLike] = None
     reuse_vocabulary: bool = True
+    checkpoint: Optional[bool] = None
 
     def __post_init__(self):
         if self.shards < 1:
@@ -116,6 +150,18 @@ class StreamParams:
             raise ParameterError(
                 f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
             )
+        if self.checkpoint and self.spill_dir is None:
+            raise ParameterError(
+                "checkpoint=True requires an explicit spill_dir: a manifest "
+                "in an auto-removed temporary directory cannot be resumed"
+            )
+
+    @property
+    def checkpoint_enabled(self) -> bool:
+        """Effective checkpoint switch (``None`` means 'iff spill_dir set')."""
+        if self.checkpoint is None:
+            return self.spill_dir is not None
+        return bool(self.checkpoint)
 
 
 @dataclass
@@ -138,6 +184,9 @@ class ShardedReport:
     peak_resident_records: int = 0
     max_records_in_memory: int = 0
     strategy: str = "hash"
+    checkpoint: bool = False
+    resumed: bool = False
+    shards_skipped: int = 0
     planner: dict = field(default_factory=dict)
     num_clusters: int = 0
     num_joint_clusters: int = 0
@@ -148,6 +197,7 @@ class ShardedReport:
     plan_seconds: float = 0.0
     shard_seconds: float = 0.0
     anonymize_seconds: float = 0.0
+    checkpoint_seconds: float = 0.0
     merge_seconds: float = 0.0
     verify_seconds: float = 0.0
 
@@ -158,6 +208,7 @@ class ShardedReport:
             self.plan_seconds
             + self.shard_seconds
             + self.anonymize_seconds
+            + self.checkpoint_seconds
             + self.merge_seconds
             + self.verify_seconds
         )
@@ -168,6 +219,7 @@ class ShardedReport:
             "plan_seconds": self.plan_seconds,
             "shard_seconds": self.shard_seconds,
             "anonymize_seconds": self.anonymize_seconds,
+            "checkpoint_seconds": self.checkpoint_seconds,
             "merge_seconds": self.merge_seconds,
             "verify_seconds": self.verify_seconds,
             "total_seconds": self.total_seconds,
@@ -175,13 +227,18 @@ class ShardedReport:
 
     def summary(self) -> str:
         """One-line human readable summary of the run."""
+        resumed = (
+            f", resumed ({self.shards_skipped} shard(s) from checkpoint)"
+            if self.resumed
+            else ""
+        )
         return (
             f"sharded run: {self.num_records} records over {self.num_shards} shard(s) "
             f"({self.strategy}), {sum(self.shard_windows)} window(s), "
             f"peak resident {self.peak_resident_records}/{self.max_records_in_memory} "
             f"records, {self.num_clusters} clusters, "
             f"{self.repair.total_demoted()} boundary demotion(s) "
-            f"in {self.total_seconds:.2f}s"
+            f"in {self.total_seconds:.2f}s{resumed}"
         )
 
 
@@ -195,7 +252,7 @@ class _ShardSpiller:
     """
 
     def __init__(self, directory: Path, shards: int, buffer_bound: int):
-        self.paths = [directory / f"shard-{index:04d}.jsonl" for index in range(shards)]
+        self.paths = [spill_path(directory, index) for index in range(shards)]
         # Start from empty files: append_jsonl would otherwise extend stale
         # spills of a previous run in a user-provided spill_dir.
         for path in self.paths:
@@ -214,6 +271,8 @@ class _ShardSpiller:
             self.flush()
 
     def flush(self) -> None:
+        faults.check("stream.spill")
+        deadline.check("stream.spill")
         for shard, buffer in enumerate(self.buffers):
             if buffer:
                 self.counts[shard] += append_jsonl(buffer, self.paths[shard])
@@ -263,10 +322,20 @@ class ShardedPipeline:
 
     # -- public entry points ------------------------------------------- #
     def anonymize_file(
-        self, path: PathLike, format: str = "auto", delimiter: Optional[str] = None
+        self,
+        path: PathLike,
+        format: str = "auto",
+        delimiter: Optional[str] = None,
+        *,
+        resume: bool = False,
     ) -> DisassociatedDataset:
-        """Stream a dataset file through the sharded pipeline."""
-        return self.run(iter_records(path, format=format, delimiter=delimiter))
+        """Stream a dataset file through the sharded pipeline.
+
+        With ``resume=True`` (checkpointed runs only) a usable manifest in
+        ``spill_dir`` takes over and the file is not re-read; without one
+        the run transparently restarts from the file.
+        """
+        return self.run(iter_records(path, format=format, delimiter=delimiter), resume=resume)
 
     def anonymize(self, dataset: TransactionDataset) -> DisassociatedDataset:
         """Anonymize an in-memory dataset through the sharded path.
@@ -277,12 +346,36 @@ class ShardedPipeline:
         """
         return self.run(iter(dataset))
 
-    def run(self, records: Iterator[Iterable]) -> DisassociatedDataset:
-        """Run the five streaming phases over an iterator of records."""
+    def run(
+        self,
+        records: Optional[Iterator[Iterable]] = None,
+        *,
+        resume: bool = False,
+    ) -> DisassociatedDataset:
+        """Run the five streaming phases over an iterator of records.
+
+        ``resume=True`` (requires a checkpointed run: explicit ``spill_dir``
+        with checkpointing enabled) picks up after a crash: completed
+        shards load from their snapshots, the interrupted shard re-runs
+        from its spill file, and merge + global verification re-execute, so
+        the result is identical to an uninterrupted run.  ``records`` is
+        then optional -- it is consumed only if the manifest shows the
+        spill phase never completed (the run restarts from scratch); with
+        no manifest at all and no ``records``, :class:`CheckpointError` is
+        raised.
+        """
+        if resume and not self.stream.checkpoint_enabled:
+            raise ParameterError(
+                "resume=True requires a checkpointed run: set "
+                "StreamParams.spill_dir (and leave checkpointing enabled)"
+            )
+        if records is None and not resume:
+            raise ParameterError("records are required when not resuming")
         report = ShardedReport(
             num_shards=self.stream.shards,
             max_records_in_memory=self.stream.max_records_in_memory,
             strategy=self.stream.strategy,
+            checkpoint=self.stream.checkpoint_enabled,
         )
         self.last_report = report
         # One consistent kernel backend for the whole streaming run: the
@@ -292,28 +385,131 @@ class ShardedPipeline:
         with kernels.use(kernels.resolve(self.params.kernels)):
             if self.stream.spill_dir is None:
                 with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
-                    published = self._run(records, Path(tmp), report)
+                    published = self._run(records, Path(tmp), report, resume=False)
             else:
                 spill_dir = Path(self.stream.spill_dir)
                 spill_dir.mkdir(parents=True, exist_ok=True)
-                published = self._run(records, spill_dir, report)
+                published = self._run(records, spill_dir, report, resume=resume)
         return published
 
     # -- phases --------------------------------------------------------- #
+    def _load_resume_manifest(
+        self, spill_dir: Path, fingerprint: dict, records_available: bool
+    ) -> Optional[RunManifest]:
+        """The manifest to resume from, or ``None`` to restart from records.
+
+        A missing manifest or an incomplete spill phase means the durable
+        state cannot seed a run: with the original records at hand the run
+        transparently restarts from scratch; without them resuming is
+        impossible and :class:`CheckpointError` says so.  A manifest written
+        under different output-affecting parameters is always an error --
+        silently splicing its snapshots into this run would publish a
+        Frankenstein dataset.
+        """
+        manifest = RunManifest.load(spill_dir)
+        if manifest is not None:
+            if manifest.num_shards != self.stream.shards or not manifest.matches(
+                fingerprint
+            ):
+                raise CheckpointError(
+                    f"run manifest in {spill_dir} was written under different "
+                    "parameters; refusing to resume (rerun without --resume, "
+                    "or restore the original parameters)"
+                )
+            if not manifest.spill_complete:
+                manifest = None
+        if manifest is None and not records_available:
+            raise CheckpointError(
+                f"no resumable run in {spill_dir}: no complete spill manifest "
+                "found and no input records were provided"
+            )
+        return manifest
+
     def _run(
-        self, records: Iterator[Iterable], spill_dir: Path, report: ShardedReport
+        self,
+        records: Optional[Iterator[Iterable]],
+        spill_dir: Path,
+        report: ShardedReport,
+        *,
+        resume: bool,
     ) -> DisassociatedDataset:
         bound = self.stream.max_records_in_memory
-        records = iter(records)
+        checkpointing = self.stream.checkpoint_enabled
+        fingerprint = run_fingerprint(self.params, self.stream) if checkpointing else {}
+
+        manifest: Optional[RunManifest] = None
+        if resume:
+            manifest = self._load_resume_manifest(
+                spill_dir, fingerprint, records_available=records is not None
+            )
+        report.resumed = manifest is not None
+
+        if manifest is None:
+            manifest = self._plan_and_spill(records, spill_dir, report, fingerprint)
+        else:
+            # Plan + spill already durable: adopt their recorded outcome.
+            report.planner = dict(manifest.planner)
+            report.shard_records = list(manifest.shard_records)
+            report.num_records = manifest.num_records
+
+        clusters = self._anonymize_shards(spill_dir, report, manifest)
+
+        # merge: one publication; relabeling already made labels unique.
+        faults.check("stream.merge")
+        deadline.check("stream.merge")
+        start = time.perf_counter()
+        merged = DisassociatedDataset(clusters, k=self.params.k, m=self.params.m)
+        report.merge_seconds = time.perf_counter() - start
+
+        # verify: global audit across shard boundaries, demotion repair.
+        # Private original records (needed by the repair's demotion
+        # decisions) are dropped afterwards: the returned publication holds
+        # only what would be serialized.
+        faults.check("stream.verify")
+        deadline.check("stream.verify")
+        start = time.perf_counter()
+        merged, report.repair = verify_and_repair(merged)
+        merged = DisassociatedDataset(
+            [_without_private_records(cluster) for cluster in merged.clusters],
+            k=merged.k,
+            m=merged.m,
+        )
+        report.verify_seconds = time.perf_counter() - start
+
+        _fill_report(report, merged)
+        return merged
+
+    def _plan_and_spill(
+        self,
+        records: Iterator[Iterable],
+        spill_dir: Path,
+        report: ShardedReport,
+        fingerprint: dict,
+    ) -> Optional[RunManifest]:
+        """Phases 1+2 (plan, shard); returns the durable manifest if any.
+
+        On checkpointed runs any stale manifest is removed *before* the
+        spill files are truncated, and the new manifest (with
+        ``spill_complete=True``) is written only after the final flush --
+        so a crash anywhere in between leaves no manifest and a resume
+        restarts from the original records instead of trusting half-written
+        spills (or a previous run's snapshots).
+        """
+        checkpointing = self.stream.checkpoint_enabled
+        if checkpointing:
+            RunManifest.invalidate(spill_dir)
 
         # plan: sample the stream head (only when the strategy needs one;
         # hash routing is data-oblivious and streams straight through).
+        faults.check("stream.plan")
+        deadline.check("stream.plan")
         start = time.perf_counter()
+        records = iter(records)
         sample: list[Record] = []
         if self.stream.strategy != "hash":
             for record in records:
                 sample.append(ensure_record(record))
-                if len(sample) >= bound:
+                if len(sample) >= self.stream.max_records_in_memory:
                     break
         planner = build_planner(self.stream.strategy, self.stream.shards, sample)
         report.planner = planner.describe()
@@ -324,7 +520,9 @@ class ShardedPipeline:
         # The sample is drained record-by-record as it is routed, so sample
         # remainder + spill buffers together never exceed the memory bound.
         start = time.perf_counter()
-        spiller = _ShardSpiller(spill_dir, self.stream.shards, bound)
+        spiller = _ShardSpiller(
+            spill_dir, self.stream.shards, self.stream.max_records_in_memory
+        )
         sample.reverse()
         while sample:
             record = sample.pop()
@@ -340,19 +538,54 @@ class ShardedPipeline:
         )
         report.shard_seconds = time.perf_counter() - start
 
-        # anonymize: windows of at most `bound` records per shard, through
-        # the standard engine (encoded backend, jobs fan-out).  One engine
-        # serves every window with `keep_pool`, so later windows inherit the
-        # already-spawned worker pool instead of paying process startup per
-        # window; per-window state (mask caches, merge memos) is scoped to
-        # each `anonymize` call by construction.
+        if not checkpointing:
+            return None
+        manifest = RunManifest(
+            fingerprint=fingerprint,
+            num_shards=self.stream.shards,
+            planner=report.planner,
+            num_records=report.num_records,
+            shard_records=report.shard_records,
+            spill_complete=True,
+        )
         start = time.perf_counter()
+        manifest.save(spill_dir)
+        report.checkpoint_seconds += time.perf_counter() - start
+        return manifest
+
+    def _anonymize_shards(
+        self,
+        spill_dir: Path,
+        report: ShardedReport,
+        manifest: Optional[RunManifest],
+    ) -> list[Cluster]:
+        """Phase 3: per-shard windowed engine runs (+ snapshots/skip).
+
+        With a manifest, shards whose snapshot already exists load it
+        instead of re-running, and every live shard publishes its own
+        snapshot the moment it finishes -- the atomic rename that makes
+        the snapshot visible *is* the durable completion marker, so no
+        per-shard manifest rewrite is needed and a crash mid-checkpoint
+        only repeats that one shard's work.  The writes are synchronous
+        on purpose: a background
+        writer thread was measured *slower* end-to-end (serialization is
+        pure Python and fights the window compute for the GIL, and the
+        fsyncs it could overlap cost ~1-2 ms each), while the synchronous
+        cost is tracked in ``report.checkpoint_seconds`` and the
+        resilience benchmark gates the end-to-end overhead.
+        """
+        bound = self.stream.max_records_in_memory
+        start = time.perf_counter()
+        checkpoint_seconds = 0.0
         window_params = replace(self.params, verify=False)
         clusters: list[Cluster] = []
         report.shard_windows = [0] * self.stream.shards
         reuse_vocab = (
             self.stream.reuse_vocabulary and window_params.backend == "encoded"
         )
+        spill_paths = [
+            spill_path(spill_dir, index) for index in range(self.stream.shards)
+        ]
         borrowed = self.window_engine
         if borrowed is not None:
             # Caller-owned warm engine: borrow it for the run (inheriting
@@ -364,49 +597,81 @@ class ShardedPipeline:
         else:
             engine = Disassociator(window_params, keep_pool=True)
         try:
-            for shard, path in enumerate(spiller.paths):
+            for shard, path in enumerate(spill_paths):
+                if manifest is not None and snapshot_path(spill_dir, shard).exists():
+                    # Completed before the crash: the atomically published
+                    # snapshot *is* the durable completion marker.
+                    snapshot, windows = load_shard_snapshot(spill_dir, shard)
+                    clusters.extend(snapshot)
+                    report.shard_windows[shard] = windows
+                    report.shards_skipped += 1
+                    continue
                 # One interning table per shard: every window of the shard
                 # encodes onto it, so only first-seen terms pay the intern
                 # cost (ids are append-only; relabeling keys are untouched).
                 engine.vocabulary = Vocabulary() if reuse_vocab else None
+                shard_clusters: list[Cluster] = []
+                # Spill-order positions of each distinct record, so the
+                # snapshot can reference original records by index instead
+                # of re-serializing them (they are already durable in the
+                # spill file).
+                record_index: dict = {}
+                records_seen = 0
                 for window, batch in enumerate(iter_batches(iter_jsonl(path), bound)):
+                    faults.check("stream.window")
+                    deadline.check("stream.window")
                     report.peak_resident_records = max(
                         report.peak_resident_records, len(batch)
                     )
                     report.shard_windows[shard] += 1
-                    published = engine.anonymize(TransactionDataset(batch))
+                    dataset = TransactionDataset(batch)
+                    published = engine.anonymize(dataset)
+                    if manifest is not None:
+                        index_start = time.perf_counter()
+                        for record in dataset:
+                            record_index.setdefault(record, []).append(records_seen)
+                            records_seen += 1
+                        checkpoint_seconds += time.perf_counter() - index_start
                     prefix = f"S{shard}W{window}."
-                    clusters.extend(
-                        relabel_cluster(cluster, prefix) for cluster in published.clusters
+                    shard_clusters.extend(
+                        relabel_cluster(cluster, prefix)
+                        for cluster in published.clusters
                     )
+                if manifest is not None:
+                    faults.check("stream.checkpoint")
+                    deadline.check("stream.checkpoint")
+                    checkpoint_start = time.perf_counter()
+                    # Snapshot serialization allocates one short burst of
+                    # containers that all die by refcount; pausing the
+                    # cyclic collector keeps that burst from triggering
+                    # full-heap collections mid-checkpoint (measured at
+                    # 2-3x the serialization cost itself).
+                    gc_was_enabled = gc.isenabled()
+                    gc.disable()
+                    try:
+                        write_atomic_blob(
+                            snapshot_path(spill_dir, shard),
+                            serialize_shard_snapshot(
+                                shard,
+                                shard_clusters,
+                                record_index,
+                                report.shard_windows[shard],
+                            ),
+                        )
+                    finally:
+                        if gc_was_enabled:
+                            gc.enable()
+                    checkpoint_seconds += time.perf_counter() - checkpoint_start
+                clusters.extend(shard_clusters)
         finally:
             if borrowed is None:
                 engine.close()
             else:
                 borrowed.params = saved_params
                 borrowed.vocabulary = saved_vocabulary
-        report.anonymize_seconds = time.perf_counter() - start
-
-        # merge: one publication; relabeling already made labels unique.
-        start = time.perf_counter()
-        merged = DisassociatedDataset(clusters, k=self.params.k, m=self.params.m)
-        report.merge_seconds = time.perf_counter() - start
-
-        # verify: global audit across shard boundaries, demotion repair.
-        # Private original records (needed by the repair's demotion
-        # decisions) are dropped afterwards: the returned publication holds
-        # only what would be serialized.
-        start = time.perf_counter()
-        merged, report.repair = verify_and_repair(merged)
-        merged = DisassociatedDataset(
-            [_without_private_records(cluster) for cluster in merged.clusters],
-            k=merged.k,
-            m=merged.m,
-        )
-        report.verify_seconds = time.perf_counter() - start
-
-        _fill_report(report, merged)
-        return merged
+        report.checkpoint_seconds += checkpoint_seconds
+        report.anonymize_seconds = time.perf_counter() - start - checkpoint_seconds
+        return clusters
 
 
 def _without_private_records(cluster: Cluster) -> Cluster:
