@@ -6,7 +6,11 @@ Sub-commands:
   write the published JSON (clusters, chunks, parameters).  With
   ``--stream`` the file is processed by the sharded streaming pipeline
   under a bounded memory budget (``--shards``,
-  ``--max-records-in-memory``).
+  ``--max-records-in-memory``).  With ``--store-dir`` the run is a
+  *delta* of a persistent incremental store: the input (or ``--append``)
+  is appended, ``--delete`` records are removed, only the changed
+  windows are re-anonymized, and the written publication is bit-for-bit
+  what a cold run over the mutated dataset would produce.
 * ``reconstruct`` -- sample a reconstructed dataset from a published JSON.
 * ``evaluate``    -- compute the paper's information-loss metrics between an
   original transaction file and a published JSON.
@@ -25,6 +29,9 @@ Examples::
     repro anonymize pos.txt --k 5 --m 2 --output pos.published.json
     repro anonymize huge.jsonl --stream --shards 8 --jobs 4 \\
         --max-records-in-memory 20000 --output huge.published.json
+    repro anonymize day1.txt --store-dir ./store --output pub.json
+    repro anonymize day2.txt --store-dir ./store --delete churned.txt \\
+        --output pub.json
     repro evaluate pos.txt pos.published.json
     repro reconstruct pos.published.json --seed 3 --output world.txt
     repro serve --port 8350 --workers 2 --max-pending 64
@@ -64,7 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     anonymize = subparsers.add_parser("anonymize", help="disassociate a dataset file")
     anonymize.add_argument(
-        "input", help="dataset file (transactions or .jsonl, sniffed from extension)"
+        "input",
+        nargs="?",
+        default=None,
+        help="dataset file (transactions or .jsonl, sniffed from extension); "
+        "with --store-dir it holds the records to append, and may be "
+        "omitted for a delete-only or no-op delta",
     )
     anonymize.add_argument("--output", required=True, help="published JSON path")
     anonymize.add_argument("--k", type=int, default=5)
@@ -139,6 +151,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="abort the run with an error if it exceeds this many seconds "
         "(checked at pipeline phase boundaries)",
+    )
+    anonymize.add_argument(
+        "--store-dir",
+        default=None,
+        help="persistent incremental store directory: the run becomes a "
+        "delta of the store (appending the input and/or applying "
+        "--delete) and writes the full publication of the mutated "
+        "dataset, bit-for-bit what a cold run over it would produce",
+    )
+    anonymize.add_argument(
+        "--append",
+        default=None,
+        metavar="FILE",
+        help="records to append to the store (alternative to the input "
+        "positional; requires --store-dir)",
+    )
+    anonymize.add_argument(
+        "--delete",
+        default=None,
+        metavar="FILE",
+        help="records to delete from the store (earliest surviving "
+        "occurrence of each; requires --store-dir)",
     )
 
     reconstruct = subparsers.add_parser(
@@ -228,6 +262,33 @@ def _cmd_anonymize(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.store_dir is None:
+        if args.append or args.delete:
+            print(
+                "error: --append/--delete mutate a persistent store and "
+                "require --store-dir",
+                file=sys.stderr,
+            )
+            return 2
+        if args.input is None:
+            print("error: an input dataset file is required", file=sys.stderr)
+            return 2
+    else:
+        if args.resume:
+            print(
+                "error: --store-dir runs are incremental, not resumed "
+                "checkpoint runs; drop --resume (re-running the same delta "
+                "against the store finishes an interrupted run)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.input is not None and args.append is not None:
+            print(
+                "error: give the records to append either as the input "
+                "positional or as --append, not both",
+                file=sys.stderr,
+            )
+            return 2
     config = ServiceConfig(
         k=args.k,
         m=args.m,
@@ -240,13 +301,22 @@ def _cmd_anonymize(args) -> int:
         max_records_in_memory=args.max_records_in_memory,
         shard_strategy=args.shard_strategy,
         spill_dir=args.spill_dir,
+        store_dir=args.store_dir,
     )
-    request = AnonymizationRequest(
-        args.input,
-        mode="stream" if args.stream else "batch",
-        deadline=args.deadline,
-        resume=args.resume,
-    )
+    if args.store_dir is not None:
+        request = AnonymizationRequest(
+            args.input if args.input is not None else args.append,
+            mode="delta",
+            deadline=args.deadline,
+            delete=args.delete,
+        )
+    else:
+        request = AnonymizationRequest(
+            args.input,
+            mode="stream" if args.stream else "batch",
+            deadline=args.deadline,
+            resume=args.resume,
+        )
     with AnonymizationService(config) as service:
         result = service.run(request)
     result.save(args.output)

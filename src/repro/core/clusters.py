@@ -22,24 +22,52 @@ These classes are pure containers: the construction logic lives in
 
 from __future__ import annotations
 
+import gc
 from collections import Counter
 from collections.abc import Iterable, Iterator, Sequence
+from contextlib import contextmanager
 from typing import Optional, Union
 
 from repro.exceptions import DatasetFormatError
 from repro.core.dataset import TransactionDataset
 
 
+@contextmanager
+def paused_gc():
+    """Pause the cyclic garbage collector for a bulk (de)serialization.
+
+    Turning a large publication into (or out of) its dictionary form
+    allocates millions of container objects that are all retained until
+    the operation finishes, so every generational collection triggered by
+    the allocation count rescans a strictly growing live tree and frees
+    nothing -- on a ~100k-record publication that multiplies the
+    serialization cost by roughly 10x.  No-op when the collector is
+    already disabled (reentrant, and respects an application-level
+    ``gc.disable()``).
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
 def _as_record(terms: Iterable) -> frozenset:
-    # Fast path: the hot constructors (chunk materialization in VERPART and
-    # REFINE) already hand over frozensets of strings; share them instead of
-    # rebuilding term by term.
-    if type(terms) is frozenset:
+    # Fast paths: the hot constructors (chunk materialization in VERPART and
+    # REFINE) already hand over frozensets of strings -- share them instead
+    # of rebuilding term by term -- and deserialization hands over the JSON
+    # parser's lists, whose elements are strings unless a caller handed in
+    # something exotic.
+    kind = type(terms)
+    if kind is frozenset or kind is list:
         for t in terms:
             if type(t) is not str:
                 break
         else:
-            return terms
+            return terms if kind is frozenset else frozenset(terms)
     return frozenset(str(t) for t in terms)
 
 
@@ -545,17 +573,19 @@ class DisassociatedDataset:
     # -- serialization --------------------------------------------------- #
     def to_dict(self) -> dict:
         """JSON-ready payload of the whole publication (parameters + clusters)."""
-        return {
-            "k": self.k,
-            "m": self.m,
-            "clusters": [cluster.to_dict() for cluster in self.clusters],
-        }
+        with paused_gc():
+            return {
+                "k": self.k,
+                "m": self.m,
+                "clusters": [cluster.to_dict() for cluster in self.clusters],
+            }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "DisassociatedDataset":
         """Rebuild a published dataset from its :meth:`to_dict` payload."""
         try:
-            clusters = [cluster_from_dict(c) for c in payload["clusters"]]
+            with paused_gc():
+                clusters = [cluster_from_dict(c) for c in payload["clusters"]]
             return cls(clusters, k=payload["k"], m=payload["m"])
         except (KeyError, TypeError) as exc:
             raise DatasetFormatError(f"malformed disassociated dataset: {payload!r}") from exc

@@ -81,6 +81,22 @@ class CheckpointError(ReproError):
     """
 
 
+class StoreError(CheckpointError):
+    """Raised when a persistent shard store cannot be used.
+
+    The incremental substrate (:mod:`repro.stream.store`) refuses to touch
+    a store that would corrupt the publication: an unreadable or
+    wrong-version database, a store created under different
+    output-affecting parameters, a delta that deletes a record the store
+    does not hold, or a delta that would change the shard plan fingerprint
+    (re-anonymizing only dirty shards under a different routing would
+    silently diverge from a cold run).  Subclasses
+    :class:`CheckpointError`: a store is the long-lived generalization of
+    the one-shot run checkpoint, and callers guarding resume paths with
+    ``except CheckpointError`` should treat both alike.
+    """
+
+
 class DeadlineExceededError(ReproError):
     """Raised when a request exceeds its execution deadline.
 

@@ -39,6 +39,10 @@ enumerate "crash at every point"):
 ``stream.merge``          before the merge phase
 ``stream.verify``         before the global boundary repair
 ``service.execute``       at the start of each request execution attempt
+``store.open``            before a persistent shard store is opened/created
+``store.validate``        before the store's fingerprint/plan validation
+``store.mutate``          before a delta's records mutation is committed
+``store.compact``         before the store is compacted (``VACUUM``)
 ========================  ====================================================
 
 Typical test usage::
@@ -83,6 +87,10 @@ INJECTION_POINTS = (
     "stream.merge",
     "stream.verify",
     "service.execute",
+    "store.open",
+    "store.validate",
+    "store.mutate",
+    "store.compact",
 )
 
 

@@ -158,6 +158,11 @@ class ServiceConfig:
         max_records_in_memory: streaming bound on resident records.
         shard_strategy: streaming record routing (``hash`` / ``horpart``).
         spill_dir: directory for streaming spill files (``None``: temp dir).
+        store_dir: directory of the persistent incremental shard store
+            (:mod:`repro.stream.store`).  Required by ``"delta"`` requests;
+            like ``spill_dir``, the location is the store's identity, not a
+            fingerprinted parameter.  ``None`` (default): delta requests
+            are rejected.
         reuse_vocabulary: share one shard-lifetime vocabulary across a
             shard's windows (output-invariant; see :mod:`repro.stream`).
         auto_stream_threshold: record count above which an ``"auto"``
@@ -204,6 +209,7 @@ class ServiceConfig:
     max_records_in_memory: int = DEFAULT_MAX_RECORDS_IN_MEMORY
     shard_strategy: str = "hash"
     spill_dir: Optional[str] = None
+    store_dir: Optional[str] = None
     reuse_vocabulary: bool = True
     checkpoint: Optional[bool] = None
     auto_stream_threshold: Optional[int] = None
@@ -218,6 +224,8 @@ class ServiceConfig:
         )
         if self.spill_dir is not None:
             object.__setattr__(self, "spill_dir", str(self.spill_dir))
+        if self.store_dir is not None:
+            object.__setattr__(self, "store_dir", str(self.store_dir))
         # Accept the retry policy in any of its serialized shapes, so
         # from_dict/from_env round-trip without the caller pre-parsing.
         if isinstance(self.retry, str):
@@ -284,6 +292,7 @@ class ServiceConfig:
             max_records_in_memory=self.max_records_in_memory,
             strategy=self.shard_strategy,
             spill_dir=self.spill_dir,
+            store_dir=self.store_dir,
             reuse_vocabulary=self.reuse_vocabulary,
             checkpoint=self.checkpoint,
         )
@@ -395,7 +404,7 @@ _OPTIONAL_INT_FIELDS = frozenset({"max_join_size", "auto_stream_threshold"})
 _BOOL_FIELDS = frozenset({"refine", "verify", "reuse_vocabulary"})
 _OPTIONAL_BOOL_FIELDS = frozenset({"checkpoint"})
 _OPTIONAL_FLOAT_FIELDS = frozenset({"default_deadline"})
-_OPTIONAL_STR_FIELDS = frozenset({"kernels", "spill_dir"})
+_OPTIONAL_STR_FIELDS = frozenset({"kernels", "spill_dir", "store_dir"})
 
 
 def _parse_env_value(name: str, raw: str):

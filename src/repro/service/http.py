@@ -35,9 +35,15 @@ failures outlived its retry budget ``503`` with ``Retry-After`` (kind
 ``deadline_exceeded``); anything unexpected ``500`` (kind ``internal``).
 ``POST /anonymize`` additionally accepts ``"deadline"`` (seconds budget
 for this request) and ``"resume"`` (resume a checkpointed streaming run;
-requires ``"mode": "stream"``).  The publication bytes are exactly
-``service.run(...)``'s (bit-for-bit; covered by the test suite and the
-throughput benchmark).
+requires ``"mode": "stream"``).  With ``"mode": "delta"`` the body
+mutates the service's persistent shard store instead: ``"records"``
+(alias ``"append"``) holds the records to append, ``"delete"`` the
+records to remove, either side may be empty or absent (an empty delta
+answers with the stored publication), and a request conflicting with the
+store's durable identity (wrong parameters, plan drift, deleting an
+absent record) answers ``409`` (kind ``checkpoint_conflict``).  The
+publication bytes are exactly ``service.run(...)``'s (bit-for-bit;
+covered by the test suite and the throughput benchmark).
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ from itertools import count
 from typing import Optional
 
 from repro.exceptions import (
+    CheckpointError,
     DatasetError,
     DeadlineExceededError,
     ParameterError,
@@ -91,6 +98,12 @@ def classify_error(exc: BaseException) -> tuple:
         return 429, "saturated", (("Retry-After", "1"),)
     if isinstance(exc, ServiceClosedError):
         return 503, "closed", ()
+    if isinstance(exc, CheckpointError):
+        # Covers StoreError too: the request conflicts with the durable
+        # state on disk (mismatched fingerprint, plan drift, a delete of a
+        # record the store does not hold) -- the classic 409, not a 400:
+        # the same body can be perfectly valid against another store.
+        return 409, "checkpoint_conflict", ()
     if isinstance(exc, (ParameterError, DatasetError)):
         return 400, "bad_request", ()
     return 500, "internal", ()
@@ -259,18 +272,34 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self._send_json(200, payload)
 
     def _handle_anonymize(self, payload: dict) -> None:
-        records = payload.get("records")
-        if not isinstance(records, list) or not records:
-            raise _HttpError(
-                400, 'body must carry a non-empty "records" list of term arrays'
-            )
+        mode = payload.get("mode", "auto")
+        if mode == "delta":
+            # Delta bodies mutate the configured store: "records" (alias
+            # "append") holds the appends and "delete" the removals; either
+            # side may be absent, and an entirely empty delta is the no-op
+            # fast path answered from the stored publication.
+            records = payload.get("records", payload.get("append"))
+            delete = payload.get("delete")
+            for name, value in (("records", records), ("delete", delete)):
+                if value is not None and not isinstance(value, list):
+                    raise _HttpError(
+                        400, f'"{name}" must be a list of term arrays'
+                    )
+        else:
+            records = payload.get("records")
+            delete = None
+            if not isinstance(records, list) or not records:
+                raise _HttpError(
+                    400, 'body must carry a non-empty "records" list of term arrays'
+                )
         run_async = bool(payload.get("async", False))
         request_fields = {
-            "mode": payload.get("mode", "auto"),
+            "mode": mode,
             "overrides": payload.get("overrides") or {},
             "tag": payload.get("tag"),
             "deadline": payload.get("deadline"),
             "resume": bool(payload.get("resume", False)),
+            "delete": delete,
         }
         try:
             # Non-blocking submit on both shapes: a full job queue answers

@@ -28,7 +28,7 @@ from repro.service.config import ServiceConfig
 PathLike = Union[str, Path]
 
 #: Execution modes a request may ask for.
-MODES = ("auto", "batch", "stream")
+MODES = ("auto", "batch", "stream", "delta")
 
 
 @dataclass(frozen=True)
@@ -43,7 +43,10 @@ class AnonymizationRequest:
         mode: ``"auto"`` (default) routes on input type and the service's
             memory threshold; ``"batch"`` forces the in-memory pipeline
             (materializing the input if needed); ``"stream"`` forces the
-            sharded streaming pipeline.
+            sharded streaming pipeline; ``"delta"`` applies the request as
+            an incremental mutation of the configured persistent store
+            (``source`` holds the records to append, ``delete`` the
+            records to remove; requires the service's ``store_dir``).
         format: file-format hint for path sources (``"auto"`` sniffs from
             the extension; see :mod:`repro.datasets.io`).
         delimiter: term delimiter for transaction-file sources.
@@ -61,9 +64,14 @@ class AnonymizationRequest:
             manifest in the configured ``spill_dir`` instead of starting
             over (requires ``mode="stream"``; see
             :meth:`repro.stream.ShardedPipeline.run`).
+        delete: records to remove from the persistent store (the earliest
+            surviving occurrence of each), applied together with the
+            appends in ``source`` as one atomic delta.  Only meaningful
+            with ``mode="delta"``: a source of records/dataset/path, or
+            ``None`` when the delta only deletes.
     """
 
-    source: Union[TransactionDataset, PathLike, Any]
+    source: Union[TransactionDataset, PathLike, Any] = None
     mode: str = "auto"
     format: str = "auto"
     delimiter: Optional[str] = None
@@ -71,6 +79,7 @@ class AnonymizationRequest:
     tag: Optional[str] = None
     deadline: Optional[float] = None
     resume: bool = False
+    delete: Union[TransactionDataset, PathLike, Any] = None
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -83,6 +92,16 @@ class AnonymizationRequest:
             raise ParameterError(
                 'resume=True requires mode="stream": only checkpointed '
                 "streaming runs leave a manifest to resume from"
+            )
+        if self.delete is not None and self.mode != "delta":
+            raise ParameterError(
+                'delete requires mode="delta": only incremental runs over a '
+                "persistent store can remove records"
+            )
+        if self.source is None and self.mode != "delta":
+            raise ParameterError(
+                "source is required (only a delta request may omit it, "
+                "meaning an empty append)"
             )
         overrides = dict(self.overrides)
         # Fail fast on misspelled knobs (the values themselves are
@@ -109,8 +128,8 @@ class PublicationResult:
         report: the run's report --
             :class:`~repro.core.engine.AnonymizationReport` for batch runs,
             :class:`~repro.stream.ShardedReport` for streamed ones.
-        mode: the mode the request was actually routed to (``"batch"`` or
-            ``"stream"`` -- never ``"auto"``).
+        mode: the mode the request was actually routed to (``"batch"``,
+            ``"stream"`` or ``"delta"`` -- never ``"auto"``).
         config: the (override-merged) :class:`ServiceConfig` of the run.
         original: the original dataset, when the run materialized it in
             memory (batch runs); ``None`` for streamed inputs.  Used as the

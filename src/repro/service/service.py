@@ -41,10 +41,12 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import uuid
 from concurrent.futures import CancelledError, Future
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import fields
 from itertools import chain, islice
+from pathlib import Path
 from typing import Iterator, Optional
 
 from repro import faults
@@ -66,6 +68,7 @@ from repro.service.config import ServiceConfig
 from repro.service.metrics import ServiceMetrics
 from repro.service.request import AnonymizationRequest, PublicationResult
 from repro.stream.executor import ShardedPipeline
+from repro.stream.store import IncrementalPipeline
 
 #: Queue item telling a worker thread to exit.
 _SENTINEL = object()
@@ -505,7 +508,11 @@ class AnonymizationService:
             config = config.with_overrides(**request.overrides)
         self._metrics.request_started()
         start = time.perf_counter()
-        state: dict = {"mode": None, "report": None}
+        # One idempotency token per *request* (not per attempt): a delta
+        # whose mutation committed before a transient crash is not
+        # re-applied by the retry -- the store recognizes the token and the
+        # retry only finishes windows and publication.
+        state: dict = {"mode": None, "report": None, "delta_id": uuid.uuid4().hex}
         error = True
         try:
             result = self._execute_with_retry(
@@ -604,6 +611,13 @@ class AnonymizationService:
     ) -> PublicationResult:
         """One routing + execution attempt (state carries mode/report out)."""
         state["mode"], state["report"] = None, None
+        if request.mode == "delta":
+            state["mode"] = "delta"
+            published, report = self._run_delta(request, config, lease.engine, state)
+            state["report"] = report
+            return PublicationResult(
+                published, report, "delta", config, tag=request.tag
+            )
         mode, stream_source, dataset = self._route(request, config)
         state["mode"] = mode
         if mode == "batch":
@@ -629,19 +643,23 @@ class AnonymizationService:
 
     @staticmethod
     def _replayable(request: AnonymizationRequest) -> bool:
-        """Whether the request's source can be re-read for a retry.
+        """Whether the request's input can be re-read for a retry.
 
         Paths are re-opened, and datasets and in-memory sequences (e.g.
         the record lists the HTTP front door posts) re-iterated from
         scratch; a plain one-shot iterable may already be partially
         consumed by the failed attempt, so replaying it would silently
-        anonymize a truncated stream.
+        anonymize a truncated stream.  A delta request must replay both
+        its append source and its delete list (``None`` -- an empty side
+        of the delta -- is trivially replayable).
         """
-        return (
-            request.is_path
-            or request.is_dataset
-            or isinstance(request.source, (list, tuple))
-        )
+
+        def safe(value) -> bool:
+            return value is None or isinstance(
+                value, (str, Path, TransactionDataset, list, tuple)
+            )
+
+        return safe(request.source) and safe(request.delete)
 
     def _rebuild_engine(self, lease: _EngineLease) -> None:
         """Replace the lease's crashed engine with a fresh warm one.
@@ -755,6 +773,49 @@ class AnonymizationService:
         )
         published = pipeline.run(records, resume=resume)
         return published, pipeline.last_report
+
+    def _run_delta(
+        self,
+        request: AnonymizationRequest,
+        config: ServiceConfig,
+        engine: Disassociator,
+        state: dict,
+    ):
+        """Apply the request as one delta of the persistent shard store.
+
+        Appends come from ``request.source`` (``None``: none), deletes from
+        ``request.delete``; both accept the same shapes as any request
+        source.  The recomputed windows run on the service's warm engine
+        whenever the merged config can reuse it, exactly like streamed
+        requests, and the request-scoped ``delta_id`` makes transparent
+        retries of a transiently failed delta apply the mutation at most
+        once.
+        """
+        params = self._engine_params(config)
+        pipeline = IncrementalPipeline(
+            params,
+            config.stream_params(),
+            window_engine=self._warm_engine_for(params, engine),
+        )
+        published = pipeline.run(
+            append=self._delta_records(request.source, request),
+            delete=self._delta_records(request.delete, request),
+            delta_id=state["delta_id"],
+        )
+        return published, pipeline.last_report
+
+    @staticmethod
+    def _delta_records(source, request: AnonymizationRequest) -> list:
+        """Materialize one side of a delta into a record list (``None``: empty)."""
+        if source is None:
+            return []
+        if isinstance(source, TransactionDataset):
+            return list(source.records)
+        if isinstance(source, (str, Path)):
+            return list(
+                iter_records(source, format=request.format, delimiter=request.delimiter)
+            )
+        return list(source)
 
 
 def anonymization_service(**config_fields) -> AnonymizationService:

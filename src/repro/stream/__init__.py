@@ -16,7 +16,12 @@ stream and anonymizing each shard in bounded-memory windows:
 * :mod:`repro.stream.checkpoint` -- the durable :class:`RunManifest` and
   per-shard publication snapshots behind checkpointed runs, so
   ``ShardedPipeline.run(resume=True)`` restarts only the shard a crash
-  interrupted and still publishes bit-for-bit identical output.
+  interrupted and still publishes bit-for-bit identical output;
+* :mod:`repro.stream.store` -- the persistent :class:`ShardStore` (one
+  SQLite file) and :class:`IncrementalPipeline`: long-lived delta runs
+  that append/delete records and re-anonymize only the windows whose
+  content changed, publishing bit-for-bit what a cold run over the
+  mutated dataset would.
 
 Typical usage::
 
@@ -61,17 +66,28 @@ from repro.stream.planner import (
     build_planner,
     record_fingerprint,
 )
+from repro.stream.store import (
+    STORE_VERSION,
+    IncrementalPipeline,
+    IncrementalReport,
+    ShardStore,
+    store_path,
+)
 
 __all__ = [
     "DEFAULT_MAX_RECORDS_IN_MEMORY",
     "DEFAULT_SHARDS",
     "MANIFEST_VERSION",
+    "STORE_VERSION",
     "STRATEGIES",
     "BoundaryRepairSummary",
     "HashShardPlanner",
     "HorpartShardPlanner",
+    "IncrementalPipeline",
+    "IncrementalReport",
     "RunManifest",
     "ShardPlanner",
+    "ShardStore",
     "ShardedPipeline",
     "ShardedReport",
     "StreamParams",
@@ -84,5 +100,6 @@ __all__ = [
     "run_fingerprint",
     "save_shard_snapshot",
     "snapshot_path",
+    "store_path",
     "verify_and_repair",
 ]

@@ -61,6 +61,7 @@ from repro.core.clusters import (
     SharedChunk,
     SimpleCluster,
     TermChunk,
+    paused_gc,
 )
 from repro.datasets.io import iter_jsonl
 from repro.exceptions import CheckpointError
@@ -79,9 +80,10 @@ MANIFEST_VERSION = 1
 #: proven output-neutral by the equivalence suites).
 _EXCLUDED_PARAM_FIELDS = frozenset({"jobs", "kernels"})
 
-#: Stream fields excluded from the fingerprint (the directory is the
-#: checkpoint's identity, not part of it; the switch toggles durability).
-_EXCLUDED_STREAM_FIELDS = frozenset({"spill_dir", "checkpoint"})
+#: Stream fields excluded from the fingerprint (the directories are the
+#: checkpoint's/store's identity, not part of it; the switch toggles
+#: durability).
+_EXCLUDED_STREAM_FIELDS = frozenset({"spill_dir", "checkpoint", "store_dir"})
 
 
 def _json_safe(value):
@@ -428,15 +430,16 @@ def serialize_shard_snapshot(
     reporting; it travels with the snapshot because the manifest is not
     rewritten per shard).
     """
-    payload = {
-        "shard": shard,
-        "windows": windows,
-        "records_from_spill": record_index is not None,
-        "clusters": [
-            cluster_to_payload(cluster, record_index) for cluster in clusters
-        ],
-    }
-    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    with paused_gc():
+        payload = {
+            "shard": shard,
+            "windows": windows,
+            "records_from_spill": record_index is not None,
+            "clusters": [
+                cluster_to_payload(cluster, record_index) for cluster in clusters
+            ],
+        }
+        return json.dumps(payload, separators=(",", ":")).encode("utf-8")
 
 
 def save_shard_snapshot(
@@ -471,9 +474,10 @@ def load_shard_snapshot(spill_dir: Path, shard: int) -> tuple[list, int]:
         records = None
         if payload.get("records_from_spill"):
             records = list(iter_jsonl(spill_path(spill_dir, shard)))
-        clusters = [
-            cluster_from_payload(entry, records) for entry in payload["clusters"]
-        ]
+        with paused_gc():
+            clusters = [
+                cluster_from_payload(entry, records) for entry in payload["clusters"]
+            ]
         return clusters, int(payload.get("windows", 0))
     except CheckpointError:
         raise

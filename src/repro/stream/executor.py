@@ -130,6 +130,13 @@ class StreamParams:
             overhead); ``True`` without a ``spill_dir`` is rejected, since
             a checkpoint inside an auto-removed temporary directory could
             never be resumed.
+        store_dir: directory of the persistent incremental shard store
+            (:mod:`repro.stream.store`).  Ignored by :class:`ShardedPipeline`
+            itself; it configures where
+            :class:`~repro.stream.store.IncrementalPipeline` keeps the
+            long-lived store that delta runs (record appends/deletes)
+            re-anonymize incrementally.  Like ``spill_dir``, the location
+            is the store's identity, not part of its parameter fingerprint.
     """
 
     shards: int = DEFAULT_SHARDS
@@ -138,6 +145,7 @@ class StreamParams:
     spill_dir: Optional[PathLike] = None
     reuse_vocabulary: bool = True
     checkpoint: Optional[bool] = None
+    store_dir: Optional[PathLike] = None
 
     def __post_init__(self):
         if self.shards < 1:

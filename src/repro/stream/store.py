@@ -1,0 +1,926 @@
+"""Persistent shard store and incremental (delta) re-anonymization.
+
+The sharded streaming executor (:mod:`repro.stream.executor`) recomputes
+every shard from throwaway spill files on each run, even when one record
+changed.  This module upgrades PR 8's one-shot checkpoints into a
+long-lived incremental substrate:
+
+* :class:`ShardStore` -- a single-file SQLite database (stdlib
+  :mod:`sqlite3`, no extra dependencies) under ``store_dir`` holding the
+  run's identity (parameter fingerprint + shard plan), every routed record
+  in arrival order, one relabeled cluster snapshot per *engine window*,
+  and the merged publication;
+* :class:`IncrementalPipeline` -- accepts record appends/deletes, routes
+  them with the stored plan, re-anonymizes **only the windows whose
+  content changed**, re-runs the global boundary repair, and publishes a
+  dataset **bit-for-bit identical** to a cold
+  :class:`~repro.stream.executor.ShardedPipeline` run over the mutated
+  dataset.
+
+Why per-*window* (not per-shard) granularity: a shard's windows are
+consecutive batches of ``max_records_in_memory`` records in arrival
+order, so an append only ever changes the shard's *last* (partial)
+window, while hash routing would scatter a 1% append across *all* shards
+and dirty every one of them.  Keying reuse on the window's record
+content keeps the recompute set proportional to the delta, not to the
+shard fan-out.
+
+Bit-for-bit identity argument (each step is individually covered by the
+existing equivalence suites):
+
+1. the mutated logical sequence is the original arrival order minus each
+   deleted record's earliest occurrence, plus appends at the end --
+   exactly the dataset a cold run would consume;
+2. routing is stable: hash routing is content-based, and ``horpart``
+   routing re-validates the stored plan against the mutated sequence's
+   sample prefix on every delta (a changed plan is *rejected* with
+   :class:`~repro.exceptions.StoreError` rather than silently diverging);
+3. per-shard arrival order of surviving records is preserved, so window
+   boundaries and contents match the cold run's spill batches; a window
+   with unchanged content produces unchanged clusters (vocabulary reuse
+   is output-invariant, so re-running an isolated window with a fresh
+   vocabulary is equivalent -- the kernel suite's reuse-equivalence
+   test);
+4. window labels (``S<shard>W<window>.``) depend only on shard and
+   window index, and merge + global boundary repair + private-record
+   stripping are deterministic functions of the per-window cluster
+   lists (the crash/resume suite's identity property).
+
+Durability: every mutation is one atomic SQLite transaction (records,
+plan, generation and the delta's idempotency token commit together), each
+recomputed window commits independently, and the publication commits
+last with the generation it was computed from.  A crash at any instant
+leaves a consistent store; the next :meth:`IncrementalPipeline.run` --
+with the same ``delta_id`` or with no delta at all -- reconciles the
+stale windows by fingerprint and completes the publication.  Faults and
+deadlines are honored at every phase boundary (``store.open``,
+``store.validate``, ``store.mutate``, ``store.compact``, plus the
+streaming ``stream.window`` / ``stream.merge`` / ``stream.verify``
+points), so the fault-injection harness drives delta runs exactly like
+cold ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro import faults
+from repro.core import deadline, kernels
+from repro.core.clusters import Cluster, DisassociatedDataset, paused_gc
+from repro.core.dataset import TransactionDataset, ensure_record, normalize_record
+from repro.core.engine import AnonymizationParams, Disassociator, _fill_report
+from repro.core.vocab import Vocabulary
+from repro.exceptions import ParameterError, StoreError
+from repro.stream.boundary import BoundaryRepairSummary, verify_and_repair
+from repro.stream.checkpoint import (
+    cluster_from_payload,
+    cluster_to_payload,
+    run_fingerprint,
+)
+from repro.stream.executor import StreamParams, _without_private_records, relabel_cluster
+from repro.stream.planner import HashShardPlanner, HorpartShardPlanner, build_planner
+
+PathLike = Union[str, Path]
+
+#: File name of the SQLite database inside ``store_dir``.
+STORE_NAME = "store.sqlite"
+
+#: Store schema version; bump on any incompatible change.
+STORE_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS records (
+    seq    INTEGER PRIMARY KEY,
+    shard  INTEGER NOT NULL,
+    record TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_records_shard ON records (shard, seq);
+CREATE INDEX IF NOT EXISTS idx_records_content ON records (record);
+CREATE TABLE IF NOT EXISTS windows (
+    shard       INTEGER NOT NULL,
+    win         INTEGER NOT NULL,
+    fingerprint TEXT NOT NULL,
+    num_records INTEGER NOT NULL,
+    clusters    TEXT NOT NULL,
+    PRIMARY KEY (shard, win)
+);
+CREATE TABLE IF NOT EXISTS publication (
+    id         INTEGER PRIMARY KEY CHECK (id = 0),
+    generation INTEGER NOT NULL,
+    payload    TEXT NOT NULL
+);
+"""
+
+
+def record_text(record: Iterable) -> str:
+    """The store's canonical text of one record.
+
+    Identical to the streaming spill's JSONL line
+    (:func:`repro.datasets.io.write_jsonl`: the sorted term list as JSON),
+    so the windows an incremental run batches from the store hold exactly
+    the records a cold run would read back from its spill files.
+    """
+    return json.dumps(sorted(str(t) for t in record))
+
+
+def window_fingerprint(texts: list) -> str:
+    """Content fingerprint of one window (ordered record texts)."""
+    digest = hashlib.blake2b(digest_size=16)
+    for text in texts:
+        digest.update(text.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def store_path(store_dir: PathLike) -> Path:
+    """Location of the store database inside ``store_dir``."""
+    return Path(store_dir) / STORE_NAME
+
+
+class ShardStore:
+    """The persistent substrate of incremental anonymization runs.
+
+    One SQLite file per store directory, holding four tables:
+
+    ======================  ================================================
+    ``meta``                schema version, parameter fingerprint, shard
+                            plan, mutation generation, last applied
+                            ``delta_id``
+    ``records``             every routed record: global arrival order
+                            (``seq``), owning shard, canonical text
+    ``windows``             one relabeled cluster snapshot per engine
+                            window, keyed by ``(shard, window)`` with the
+                            window's content fingerprint
+    ``publication``         the merged + repaired publication and the
+                            generation it was computed from
+    ======================  ================================================
+
+    All methods raise :class:`~repro.exceptions.StoreError` on an
+    unusable database.  Use as a context manager (or call :meth:`close`).
+    """
+
+    def __init__(self, store_dir: PathLike):
+        faults.check("store.open")
+        deadline.check("store.open")
+        self.directory = Path(store_dir)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(f"cannot create store directory {store_dir}: {exc}") from exc
+        self.path = store_path(self.directory)
+        try:
+            # Autocommit mode: transaction boundaries are explicit (BEGIN
+            # IMMEDIATE/COMMIT), so every commit in this module is a
+            # deliberate durability point, never a driver side effect.
+            self._db = sqlite3.connect(self.path, isolation_level=None)
+            # WAL + synchronous=NORMAL: commits stay atomic but no longer
+            # fsync individually -- a power loss may roll the store back
+            # to an earlier committed generation, which the delta protocol
+            # absorbs by design (re-running the delta re-applies a lost
+            # mutation, or no-ops via its delta_id when it survived).  An
+            # application crash loses nothing.  The alternative (a full
+            # fsync per window snapshot) costs more than the windows'
+            # recompute saves on small deltas.
+            self._db.execute("PRAGMA journal_mode=WAL").fetchone()
+            self._db.execute("PRAGMA synchronous=NORMAL")
+            self._db.executescript(_SCHEMA)
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot open shard store {self.path}: {exc}") from exc
+
+    # -- lifecycle ------------------------------------------------------- #
+    def __enter__(self) -> "ShardStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the underlying database connection."""
+        self._db.close()
+
+    # -- meta ------------------------------------------------------------- #
+    def _meta(self, key: str) -> Optional[str]:
+        row = self._db.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return None if row is None else row[0]
+
+    def _set_meta(self, key: str, value: str) -> None:
+        self._db.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
+        )
+
+    @property
+    def initialized(self) -> bool:
+        """Whether the store has been initialized (version + fingerprint)."""
+        return self._meta("version") is not None
+
+    def initialize(self, fingerprint: dict) -> None:
+        """Record the store's identity; one atomic commit."""
+        self._db.execute("BEGIN IMMEDIATE")
+        try:
+            self._set_meta("version", str(STORE_VERSION))
+            self._set_meta("fingerprint", json.dumps(fingerprint, sort_keys=True))
+            self._set_meta("generation", "0")
+            self._db.execute("COMMIT")
+        except BaseException:
+            self._db.execute("ROLLBACK")
+            raise
+
+    def validate(self, fingerprint: dict) -> None:
+        """Refuse a store written under a different identity.
+
+        Version and parameter-fingerprint mismatches raise
+        :class:`StoreError`: splicing snapshots computed under different
+        output-affecting parameters into one publication would corrupt it.
+        """
+        faults.check("store.validate")
+        deadline.check("store.validate")
+        version = self._meta("version")
+        if version != str(STORE_VERSION):
+            raise StoreError(
+                f"shard store {self.path} has version {version!r}, "
+                f"this library reads version {STORE_VERSION}"
+            )
+        stored = self._meta("fingerprint")
+        try:
+            stored = json.loads(stored) if stored is not None else None
+        except ValueError as exc:
+            raise StoreError(f"malformed fingerprint in {self.path}: {exc}") from exc
+        if stored != fingerprint:
+            raise StoreError(
+                f"shard store {self.path} was created under different "
+                "output-affecting parameters; refusing the delta (use a fresh "
+                "store_dir, or restore the original parameters)"
+            )
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter: bumped by every committed delta."""
+        value = self._meta("generation")
+        return 0 if value is None else int(value)
+
+    @property
+    def applied_delta(self) -> Optional[str]:
+        """The ``delta_id`` of the last committed mutation (idempotency token)."""
+        return self._meta("applied_delta")
+
+    def plan(self) -> Optional[dict]:
+        """The stored shard plan (``planner.describe()`` form), or ``None``."""
+        raw = self._meta("plan")
+        if raw is None:
+            return None
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise StoreError(f"malformed shard plan in {self.path}: {exc}") from exc
+
+    # -- records ----------------------------------------------------------- #
+    def num_records(self) -> int:
+        """Total records currently held."""
+        return int(self._db.execute("SELECT COUNT(*) FROM records").fetchone()[0])
+
+    def shard_counts(self, shards: int) -> list:
+        """Per-shard record counts (length ``shards``)."""
+        counts = [0] * shards
+        for shard, count in self._db.execute(
+            "SELECT shard, COUNT(*) FROM records GROUP BY shard"
+        ):
+            counts[shard] = count
+        return counts
+
+    def window_texts(self, shard: int, after_seq: int, limit: int) -> list:
+        """Up to ``limit`` of the shard's record ``(seq, text)`` rows after ``after_seq``.
+
+        Fetched eagerly (one bounded batch) so no read cursor stays open
+        across the window commits interleaved with the scan.
+        """
+        return self._db.execute(
+            "SELECT seq, record FROM records WHERE shard = ? AND seq > ? "
+            "ORDER BY seq LIMIT ?",
+            (shard, after_seq, limit),
+        ).fetchall()
+
+    def sample_texts(self, limit: int) -> list:
+        """The first ``limit`` record texts in global arrival order.
+
+        This is the prefix a cold run's planner would sample, used to
+        re-validate a ``horpart`` plan after every mutation.
+        """
+        return [
+            row[0]
+            for row in self._db.execute(
+                "SELECT record FROM records ORDER BY seq LIMIT ?", (limit,)
+            )
+        ]
+
+    # -- mutation ----------------------------------------------------------- #
+    def apply_delta(
+        self,
+        append: list,
+        delete: list,
+        planner,
+        *,
+        stream: StreamParams,
+        delta_id: Optional[str] = None,
+    ):
+        """Apply one delta atomically; returns the planner in effect.
+
+        ``append``/``delete`` are lists of normalized records.  Deletes
+        remove the *earliest* surviving occurrence of each record (a
+        record the store does not hold raises :class:`StoreError` and the
+        whole delta rolls back).  Appends are routed with ``planner`` (the
+        stored plan) and land after every existing record, preserving
+        arrival order.  For sample-based strategies the plan is
+        re-derived from the mutated sequence's sample prefix inside the
+        same transaction -- a delta that would change the plan rolls back
+        with :class:`StoreError`, because re-anonymizing only dirty
+        windows under a different routing would diverge from a cold run.
+
+        On a fresh store the plan is derived from the appended records'
+        prefix and recorded; ``delta_id`` (when given) is stored in the
+        same commit, making retries of the same delta idempotent.
+        """
+        faults.check("store.mutate")
+        deadline.check("store.mutate")
+        self._db.execute("BEGIN IMMEDIATE")
+        try:
+            for record in delete:
+                text = record_text(record)
+                row = self._db.execute(
+                    "SELECT seq FROM records WHERE record = ? ORDER BY seq LIMIT 1",
+                    (text,),
+                ).fetchone()
+                if row is None:
+                    raise StoreError(
+                        f"delta deletes a record the store does not hold: {text}"
+                    )
+                self._db.execute("DELETE FROM records WHERE seq = ?", (row[0],))
+            if stream.strategy != "hash" and self._meta("plan") is None:
+                # Fresh store: no plan can exist without records (sample-based
+                # plans are recorded in the same commit as the first records),
+                # so the sequence prefix a cold run would sample is exactly
+                # the append prefix.  Derive the routing plan from it before
+                # any record is placed.
+                planner = build_planner(
+                    stream.strategy,
+                    stream.shards,
+                    append[: stream.max_records_in_memory],
+                )
+            for record in append:
+                self._db.execute(
+                    "INSERT INTO records (shard, record) VALUES (?, ?)",
+                    (planner.shard_of(record), record_text(record)),
+                )
+            planner = self._reconcile_plan(planner, stream)
+            self._set_meta("generation", str(self.generation + 1))
+            if delta_id is not None:
+                self._set_meta("applied_delta", delta_id)
+            self._db.execute("COMMIT")
+        except BaseException:
+            self._db.execute("ROLLBACK")
+            raise
+        return planner
+
+    def _reconcile_plan(self, planner, stream: StreamParams):
+        """Validate (or first record) the plan against the mutated sequence."""
+        if stream.strategy == "hash":
+            # Data-oblivious: the plan can never drift; record it once.
+            if self._meta("plan") is None:
+                self._set_meta("plan", json.dumps(planner.describe(), sort_keys=True))
+            return planner
+        sample = [
+            normalize_record(json.loads(text))
+            for text in self.sample_texts(stream.max_records_in_memory)
+        ]
+        derived = build_planner(stream.strategy, stream.shards, sample)
+        stored = self._meta("plan")
+        if stored is None:
+            self._set_meta("plan", json.dumps(derived.describe(), sort_keys=True))
+            return derived
+        if json.loads(stored) != derived.describe():
+            raise StoreError(
+                "delta would change the shard plan fingerprint (the sample "
+                "prefix now yields different split terms); incremental "
+                "re-anonymization under a drifted plan would diverge from a "
+                "cold run -- rebuild the store from scratch in a fresh "
+                "store_dir instead"
+            )
+        return derived
+
+    # -- windows ------------------------------------------------------------ #
+    def get_window(self, shard: int, win: int) -> Optional[tuple]:
+        """The stored ``(fingerprint, clusters_json)`` of a window, or ``None``."""
+        return self._db.execute(
+            "SELECT fingerprint, clusters FROM windows WHERE shard = ? AND win = ?",
+            (shard, win),
+        ).fetchone()
+
+    def put_window(
+        self, shard: int, win: int, fingerprint: str, num_records: int, clusters: str
+    ) -> None:
+        """Durably replace one window snapshot (its own commit)."""
+        self._db.execute("BEGIN IMMEDIATE")
+        try:
+            self._db.execute(
+                "INSERT OR REPLACE INTO windows "
+                "(shard, win, fingerprint, num_records, clusters) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (shard, win, fingerprint, num_records, clusters),
+            )
+            self._db.execute("COMMIT")
+        except BaseException:
+            self._db.execute("ROLLBACK")
+            raise
+
+    def drop_windows_from(self, shard: int, win: int) -> int:
+        """Delete the shard's window snapshots at indices ``>= win``.
+
+        Deletes shrink a shard's record sequence, so trailing windows of
+        an earlier run can outlive the records that produced them; the
+        reconcile pass prunes them the moment the true window count is
+        known.  Returns the number of rows dropped.
+        """
+        cursor = self._db.execute(
+            "DELETE FROM windows WHERE shard = ? AND win >= ?", (shard, win)
+        )
+        return cursor.rowcount
+
+    # -- publication --------------------------------------------------------- #
+    def get_publication(self) -> Optional[tuple]:
+        """The stored ``(generation, payload_json)`` publication, or ``None``."""
+        return self._db.execute(
+            "SELECT generation, payload FROM publication WHERE id = 0"
+        ).fetchone()
+
+    def put_publication(self, generation: int, payload: str) -> None:
+        """Durably replace the merged publication (its own commit)."""
+        self._db.execute("BEGIN IMMEDIATE")
+        try:
+            self._db.execute(
+                "INSERT OR REPLACE INTO publication (id, generation, payload) "
+                "VALUES (0, ?, ?)",
+                (generation, payload),
+            )
+            self._db.execute("COMMIT")
+        except BaseException:
+            self._db.execute("ROLLBACK")
+            raise
+
+    # -- maintenance ---------------------------------------------------------- #
+    def compact(self) -> None:
+        """Reclaim the space of deleted rows (SQLite ``VACUUM``).
+
+        Deletes and window rewrites leave free pages in the database file;
+        compaction rewrites it tight.  Safe at any point between runs --
+        it changes the file layout, never the contents.
+        """
+        faults.check("store.compact")
+        deadline.check("store.compact")
+        try:
+            self._db.execute("VACUUM")
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot compact shard store {self.path}: {exc}") from exc
+
+
+@dataclass
+class IncrementalReport:
+    """Timings and structural statistics of one incremental run.
+
+    Mirrors :class:`~repro.stream.executor.ShardedReport` (same cluster
+    statistics, filled by the same helper) and adds the delta-specific
+    quantities: how many records the delta appended/deleted, how many
+    windows were reused from the store versus re-anonymized, and whether
+    the run was a no-op served straight from the stored publication.
+    """
+
+    num_records: int = 0
+    num_shards: int = 0
+    shard_records: list = field(default_factory=list)
+    shard_windows: list = field(default_factory=list)
+    max_records_in_memory: int = 0
+    strategy: str = "hash"
+    initialized: bool = False
+    noop: bool = False
+    delta_replayed: bool = False
+    appended: int = 0
+    deleted: int = 0
+    windows_reused: int = 0
+    windows_recomputed: int = 0
+    planner: dict = field(default_factory=dict)
+    num_clusters: int = 0
+    num_joint_clusters: int = 0
+    num_record_chunks: int = 0
+    num_shared_chunks: int = 0
+    term_chunk_terms: int = 0
+    repair: BoundaryRepairSummary = field(default_factory=BoundaryRepairSummary)
+    open_seconds: float = 0.0
+    validate_seconds: float = 0.0
+    mutate_seconds: float = 0.0
+    anonymize_seconds: float = 0.0
+    store_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    verify_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall time across the incremental phases."""
+        return (
+            self.open_seconds
+            + self.validate_seconds
+            + self.mutate_seconds
+            + self.anonymize_seconds
+            + self.store_seconds
+            + self.merge_seconds
+            + self.verify_seconds
+        )
+
+    def phase_timings(self) -> dict:
+        """Phase timings as a plain dict (machine-readable perf output)."""
+        return {
+            "open_seconds": self.open_seconds,
+            "validate_seconds": self.validate_seconds,
+            "mutate_seconds": self.mutate_seconds,
+            "anonymize_seconds": self.anonymize_seconds,
+            "store_seconds": self.store_seconds,
+            "merge_seconds": self.merge_seconds,
+            "verify_seconds": self.verify_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+    def counters(self) -> dict:
+        """Work counters of the run (gated by the perf-regression suite)."""
+        return {
+            "appended": self.appended,
+            "deleted": self.deleted,
+            "windows_reused": self.windows_reused,
+            "windows_recomputed": self.windows_recomputed,
+        }
+
+    def summary(self) -> str:
+        """One-line human readable summary of the run."""
+        if self.noop:
+            return (
+                f"incremental run: no-op, publication of {self.num_records} "
+                f"record(s) served from the store "
+                f"({self.num_clusters} clusters) in {self.total_seconds:.2f}s"
+            )
+        kind = "initialized" if self.initialized else "delta"
+        return (
+            f"incremental run ({kind}): {self.num_records} records over "
+            f"{self.num_shards} shard(s) ({self.strategy}), "
+            f"+{self.appended}/-{self.deleted} record(s), "
+            f"{self.windows_recomputed} window(s) recomputed / "
+            f"{self.windows_reused} reused, {self.num_clusters} clusters, "
+            f"{self.repair.total_demoted()} boundary demotion(s) "
+            f"in {self.total_seconds:.2f}s"
+        )
+
+
+class IncrementalPipeline:
+    """Delta-aware counterpart of :class:`~repro.stream.executor.ShardedPipeline`.
+
+    Args:
+        params: the anonymization parameters applied inside every window
+            (``verify`` is handled globally by the boundary pass).
+        stream: the sharding/memory parameters; ``stream.store_dir`` is
+            required -- it names the persistent store this pipeline
+            maintains.
+        window_engine: optionally a caller-owned (typically warm)
+            :class:`~repro.core.engine.Disassociator` to run recomputed
+            windows on; the service layer passes its long-lived engine.
+            Borrowed engines get their parameters/vocabulary restored and
+            are never closed.
+
+    :meth:`run` handles both the initial build (an empty store appends the
+    whole dataset) and every later delta uniformly, and always returns the
+    full publication of the mutated dataset -- bit-for-bit what a cold
+    :class:`ShardedPipeline` run over it would publish.
+    """
+
+    def __init__(
+        self,
+        params: Optional[AnonymizationParams] = None,
+        stream: Optional[StreamParams] = None,
+        *,
+        window_engine: Optional[Disassociator] = None,
+    ):
+        self.params = params if params is not None else AnonymizationParams()
+        self.stream = stream if stream is not None else StreamParams()
+        if self.stream.store_dir is None:
+            raise ParameterError(
+                "IncrementalPipeline requires StreamParams.store_dir: the "
+                "persistent shard store is what delta runs are incremental over"
+            )
+        if self.stream.max_records_in_memory < self.params.max_cluster_size:
+            raise ParameterError(
+                "max_records_in_memory must be at least max_cluster_size "
+                f"(got {self.stream.max_records_in_memory} < "
+                f"{self.params.max_cluster_size})"
+            )
+        self.window_engine = window_engine
+        self.last_report: Optional[IncrementalReport] = None
+        # In-process cluster cache: (shard, win) -> (fingerprint, clusters).
+        # A long-lived pipeline skips re-deserializing the snapshots of
+        # windows whose fingerprint is unchanged since its last run; safe
+        # because the merge / boundary-repair / strip pipeline never
+        # mutates a cluster in place (repairs rebuild).  The store stays
+        # the source of truth -- a fresh pipeline starts cold and reads
+        # the same snapshots.
+        self._window_cache: dict = {}
+
+    # -- public entry points ------------------------------------------- #
+    def run(
+        self,
+        append: Iterable[Iterable] = (),
+        delete: Iterable[Iterable] = (),
+        *,
+        delta_id: Optional[str] = None,
+    ) -> DisassociatedDataset:
+        """Apply a delta and return the full (mutated) publication.
+
+        ``append`` records land after every existing record; ``delete``
+        removes the earliest surviving occurrence of each given record
+        (a record the store does not hold raises
+        :class:`~repro.exceptions.StoreError` and nothing is mutated).
+        An empty delta on an up-to-date store is a no-op fast path served
+        straight from the stored publication.
+
+        ``delta_id`` is an optional idempotency token: a mutation is
+        committed at most once per token, so the service layer can retry
+        a transiently failed delta without double-applying it -- the
+        retry skips the (already durable) mutation and finishes the
+        window reconciliation and publication instead.
+        """
+        report = IncrementalReport(
+            num_shards=self.stream.shards,
+            max_records_in_memory=self.stream.max_records_in_memory,
+            strategy=self.stream.strategy,
+        )
+        self.last_report = report
+        # One consistent kernel backend for the whole run, exactly like the
+        # cold streaming executor (windows, merge and boundary audit all see
+        # the configured backend).
+        with kernels.use(kernels.resolve(self.params.kernels)):
+            start = time.perf_counter()
+            store = ShardStore(self.stream.store_dir)
+            report.open_seconds = time.perf_counter() - start
+            try:
+                return self._run(store, list(append), list(delete), delta_id, report)
+            finally:
+                store.close()
+
+    def compact(self) -> None:
+        """Compact the pipeline's store (see :meth:`ShardStore.compact`)."""
+        with ShardStore(self.stream.store_dir) as store:
+            store.compact()
+
+    # -- phases --------------------------------------------------------- #
+    def _run(
+        self,
+        store: ShardStore,
+        append: list,
+        delete: list,
+        delta_id: Optional[str],
+        report: IncrementalReport,
+    ) -> DisassociatedDataset:
+        fingerprint = run_fingerprint(self.params, self.stream)
+        start = time.perf_counter()
+        if store.initialized:
+            store.validate(fingerprint)
+        else:
+            if delete:
+                raise StoreError(
+                    "cannot delete from an uninitialized store: nothing has "
+                    "been appended yet"
+                )
+            store.initialize(fingerprint)
+            report.initialized = True
+        report.validate_seconds = time.perf_counter() - start
+
+        append = [ensure_record(record) for record in append]
+        delete = [ensure_record(record) for record in delete]
+        planner = self._planner(store)
+        start = time.perf_counter()
+        if (append or delete) and delta_id is not None and store.applied_delta == delta_id:
+            # A previous attempt committed this exact delta before dying;
+            # re-applying it would double-mutate.  Fall through to the
+            # reconcile pass, which finishes whatever that attempt left.
+            report.delta_replayed = True
+        elif append or delete:
+            planner = store.apply_delta(
+                append, delete, planner, stream=self.stream, delta_id=delta_id
+            )
+            report.appended, report.deleted = len(append), len(delete)
+        report.planner = planner.describe()
+        report.mutate_seconds = time.perf_counter() - start
+
+        report.num_records = store.num_records()
+        report.shard_records = store.shard_counts(self.stream.shards)
+
+        generation = store.generation
+        stored = store.get_publication()
+        if stored is not None and stored[0] == generation:
+            # No-op fast path: the stored publication is current (covers
+            # both an empty delta and the idempotent replay of a fully
+            # completed one).  No engine, no merge, no repair.
+            report.noop = True
+            published = DisassociatedDataset.from_dict(json.loads(stored[1]))
+            report.shard_windows = [0] * self.stream.shards
+            _fill_report(report, published)
+            return published
+
+        clusters = self._reconcile_windows(store, report)
+
+        faults.check("stream.merge")
+        deadline.check("stream.merge")
+        start = time.perf_counter()
+        merged = DisassociatedDataset(clusters, k=self.params.k, m=self.params.m)
+        report.merge_seconds = time.perf_counter() - start
+
+        faults.check("stream.verify")
+        deadline.check("stream.verify")
+        start = time.perf_counter()
+        merged, report.repair = verify_and_repair(merged)
+        merged = DisassociatedDataset(
+            [_without_private_records(cluster) for cluster in merged.clusters],
+            k=merged.k,
+            m=merged.m,
+        )
+        report.verify_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        store.put_publication(
+            generation, json.dumps(merged.to_dict(), separators=(",", ":"))
+        )
+        report.store_seconds += time.perf_counter() - start
+
+        _fill_report(report, merged)
+        return merged
+
+    def _planner(self, store: ShardStore):
+        """The routing planner in effect for this run."""
+        if self.stream.strategy == "hash":
+            return HashShardPlanner(self.stream.shards)
+        plan = store.plan()
+        if plan is None:
+            # Fresh store: derived from the appended prefix inside the
+            # mutation transaction; route with an empty-sample planner
+            # until then (apply_delta replaces it before any record of a
+            # sample-based strategy is inserted).
+            return _PrefixRoutingPlanner(self.stream)
+        if plan.get("strategy") != self.stream.strategy:
+            raise StoreError(
+                f"store plan strategy {plan.get('strategy')!r} does not match "
+                f"the configured {self.stream.strategy!r}"
+            )
+        return HorpartShardPlanner(self.stream.shards, plan.get("split_terms", []))
+
+    def _reconcile_windows(
+        self, store: ShardStore, report: IncrementalReport
+    ) -> list[Cluster]:
+        """Rebuild the per-window cluster lists, reusing unchanged windows.
+
+        Walks every shard's records in arrival order in bounded batches of
+        ``max_records_in_memory`` (the exact batches a cold run's spill
+        reader would produce), fingerprints each batch, and only runs the
+        engine on windows whose fingerprint is absent or stale.  Each
+        recomputed window commits its snapshot independently, so a crash
+        mid-reconcile repeats at most one window.
+        """
+        bound = self.stream.max_records_in_memory
+        window_params = replace(self.params, verify=False)
+        reuse_vocab = (
+            self.stream.reuse_vocabulary and window_params.backend == "encoded"
+        )
+        clusters: list[Cluster] = []
+        report.shard_windows = [0] * self.stream.shards
+        start = time.perf_counter()
+        store_seconds = 0.0
+        borrowed = self.window_engine
+        if borrowed is not None:
+            engine = borrowed
+            saved_params, saved_vocabulary = engine.params, engine.vocabulary
+            engine.params = window_params
+        else:
+            engine = Disassociator(window_params, keep_pool=True)
+        try:
+            # One GC pause for the whole walk: the cluster list only grows
+            # until the merge, so letting the allocation-count heuristic
+            # trigger full collections between windows rescans an ever
+            # larger live tree for nothing.
+            with paused_gc():
+                for shard in range(self.stream.shards):
+                    # One interning table per shard (lazy: only shards that
+                    # actually recompute a window pay for it); reuse across
+                    # the shard's recomputed windows mirrors the cold
+                    # executor and is output-invariant either way.
+                    shard_vocab: Optional[Vocabulary] = None
+                    after_seq, win = -1, 0
+                    while True:
+                        rows = store.window_texts(shard, after_seq, bound)
+                        if not rows:
+                            break
+                        after_seq = rows[-1][0]
+                        texts = [row[1] for row in rows]
+                        fingerprint = window_fingerprint(texts)
+                        stored = store.get_window(shard, win)
+                        if stored is not None and stored[0] == fingerprint:
+                            cached = self._window_cache.get((shard, win))
+                            if cached is not None and cached[0] == fingerprint:
+                                window_clusters = cached[1]
+                            else:
+                                window_clusters = [
+                                    cluster_from_payload(payload)
+                                    for payload in json.loads(stored[1])
+                                ]
+                                self._window_cache[(shard, win)] = (
+                                    fingerprint,
+                                    window_clusters,
+                                )
+                            clusters.extend(window_clusters)
+                            report.windows_reused += 1
+                        else:
+                            faults.check("stream.window")
+                            deadline.check("stream.window")
+                            if reuse_vocab and shard_vocab is None:
+                                shard_vocab = Vocabulary()
+                            engine.vocabulary = shard_vocab
+                            batch = [
+                                normalize_record(json.loads(t)) for t in texts
+                            ]
+                            published = engine.anonymize(
+                                TransactionDataset(batch)
+                            )
+                            prefix = f"S{shard}W{win}."
+                            relabeled = [
+                                relabel_cluster(cluster, prefix)
+                                for cluster in published.clusters
+                            ]
+                            store_start = time.perf_counter()
+                            snapshot = json.dumps(
+                                [cluster_to_payload(c) for c in relabeled],
+                                separators=(",", ":"),
+                            )
+                            store.put_window(
+                                shard, win, fingerprint, len(texts), snapshot
+                            )
+                            store_seconds += time.perf_counter() - store_start
+                            self._window_cache[(shard, win)] = (
+                                fingerprint,
+                                relabeled,
+                            )
+                            clusters.extend(relabeled)
+                            report.windows_recomputed += 1
+                        win += 1
+                        if len(rows) < bound:
+                            break
+                    report.shard_windows[shard] = win
+                    store.drop_windows_from(shard, win)
+                    for key in [
+                        k
+                        for k in self._window_cache
+                        if k[0] == shard and k[1] >= win
+                    ]:
+                        del self._window_cache[key]
+        finally:
+            if borrowed is None:
+                engine.close()
+            else:
+                borrowed.params = saved_params
+                borrowed.vocabulary = saved_vocabulary
+        report.store_seconds += store_seconds
+        report.anonymize_seconds = time.perf_counter() - start - store_seconds
+        return clusters
+
+
+class _PrefixRoutingPlanner:
+    """Placeholder planner for a fresh sample-based store.
+
+    Never routes a record: on a fresh store :meth:`ShardStore.apply_delta`
+    derives the real planner from the appended prefix *before* inserting
+    any record (sample-based strategies only).  Reaching :meth:`shard_of`
+    would mean a record was routed before the plan existed -- a logic
+    error, surfaced loudly.
+    """
+
+    def __init__(self, stream: StreamParams):
+        self.stream = stream
+
+    def shard_of(self, record):  # pragma: no cover - defensive
+        """Refuse to route: the plan must be derived first."""
+        raise StoreError(
+            "internal error: record routed before the shard plan was derived"
+        )
+
+    def describe(self) -> dict:
+        """Describe the not-yet-derived plan."""
+        return {"strategy": self.stream.strategy, "shards": self.stream.shards}

@@ -108,3 +108,61 @@ def make_uniform_dataset(num_records: int, domain: int, record_length: int, seed
     for _ in range(num_records):
         records.append(rng.sample(vocabulary, min(record_length, domain)))
     return TransactionDataset(records)
+
+
+# --------------------------------------------------------------------------- #
+# the paper-shaped synthetic workloads shared by the resilience, kernel,
+# wave-batching and incremental suites
+# --------------------------------------------------------------------------- #
+
+#: The three workload families every cross-cutting suite exercises.
+WORKLOAD_NAMES = ("quest", "zipf", "clickstream")
+
+
+def make_workload(
+    name: str,
+    *,
+    records: int,
+    domain: int,
+    avg_len: float,
+    seed: int,
+    sections: int | None = None,
+) -> TransactionDataset:
+    """One seeded paper-shaped workload: ``quest``/``zipf``/``clickstream``.
+
+    A single dispatch point for the synthetic generators, so every suite
+    builds its workloads through the same seeded calls instead of each
+    re-spelling the generator keyword soup.  ``records``/``domain`` map to
+    transactions/items (quest, zipf) or sessions/pages (clickstream);
+    ``sections`` only applies to clickstream (``None`` keeps the
+    generator's default).
+    """
+    # Imported here so importing conftest stays cheap for suites that
+    # never touch the synthetic generators.
+    from repro.datasets.quest import generate_quest
+    from repro.datasets.scenarios import generate_clickstream, generate_zipf_basket
+
+    if name == "quest":
+        return generate_quest(
+            num_transactions=records,
+            domain_size=domain,
+            avg_transaction_size=avg_len,
+            seed=seed,
+        )
+    if name == "zipf":
+        return generate_zipf_basket(
+            num_transactions=records,
+            domain_size=domain,
+            avg_basket_size=avg_len,
+            seed=seed,
+        )
+    if name == "clickstream":
+        kwargs = {} if sections is None else {"num_sections": sections}
+        return generate_clickstream(
+            num_sessions=records,
+            num_pages=domain,
+            avg_session_length=avg_len,
+            seed=seed,
+            **kwargs,
+        )
+    raise ValueError(f"unknown workload {name!r} (known: {WORKLOAD_NAMES})")

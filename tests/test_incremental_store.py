@@ -1,0 +1,420 @@
+"""Edge cases and API surface of the persistent incremental store.
+
+Complements the differential fuzz suite (``test_incremental_fuzz.py``):
+where the fuzz suite proves the bit-for-bit oracle property on randomized
+mutation sequences, this one pins the boundary behaviors down one by one
+-- the empty dataset, the single shard, the zero-delta no-op fast path,
+deleting everything, plan-fingerprint drift and store-identity mismatches
+(all refused with :class:`~repro.exceptions.StoreError`), the compaction
+and fault-injection hooks, and the delta plumbing through the service
+config/request model, the HTTP front door and the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.cli import main
+from repro.core.engine import AnonymizationParams
+from repro.datasets.io import write_jsonl
+from repro.exceptions import (
+    CheckpointError,
+    FaultInjected,
+    ParameterError,
+    StoreError,
+)
+from repro.service import AnonymizationRequest, AnonymizationService, ServiceConfig
+from repro.service.http import ServiceHTTPServer, classify_error
+from repro.stream import (
+    IncrementalPipeline,
+    ShardedPipeline,
+    ShardStore,
+    StreamParams,
+    run_fingerprint,
+)
+
+PARAMS = AnonymizationParams(k=3, m=2, max_cluster_size=12)
+
+RECORDS = [
+    frozenset({f"a{i % 7}", f"b{i % 5}", f"c{i % 11}"}) for i in range(140)
+]
+
+
+def _stream(store_dir, **overrides) -> StreamParams:
+    values = dict(shards=3, max_records_in_memory=100, store_dir=store_dir)
+    values.update(overrides)
+    return StreamParams(**values)
+
+
+def _canonical(published) -> str:
+    return json.dumps(published.to_dict(), sort_keys=True)
+
+
+def _cold(records, **stream_overrides):
+    values = dict(shards=3, max_records_in_memory=100)
+    values.update(stream_overrides)
+    return ShardedPipeline(PARAMS, StreamParams(**values)).run(list(records))
+
+
+class TestEdgeCases:
+    def test_empty_dataset(self, tmp_path):
+        """A store initialized with nothing publishes the empty publication."""
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "s"))
+        published = pipeline.run()
+        assert published.clusters == []
+        assert _canonical(published) == _canonical(_cold([]))
+        report = pipeline.last_report
+        assert report.num_records == 0
+        assert report.initialized
+        # And the follow-up empty run is the no-op fast path.
+        again = pipeline.run()
+        assert _canonical(again) == _canonical(published)
+        assert pipeline.last_report.noop
+
+    def test_single_shard(self, tmp_path):
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "s", shards=1))
+        pipeline.run(append=RECORDS)
+        published = pipeline.run(append=[frozenset({"z1", "z2"})], delete=RECORDS[:3])
+        mutated = RECORDS[3:] + [frozenset({"z1", "z2"})]
+        assert _canonical(published) == _canonical(_cold(mutated, shards=1))
+
+    def test_zero_delta_is_noop_fast_path(self, tmp_path):
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "s"))
+        first = pipeline.run(append=RECORDS)
+        first_report = pipeline.last_report
+        assert not first_report.noop
+        second = pipeline.run()
+        report = pipeline.last_report
+        assert _canonical(second) == _canonical(first)
+        assert report.noop
+        assert report.windows_recomputed == 0 and report.windows_reused == 0
+        assert report.anonymize_seconds == 0.0
+        # The fast path still reports the publication's cluster statistics.
+        assert report.num_clusters == first_report.num_clusters
+
+    def test_delete_everything(self, tmp_path):
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "s"))
+        pipeline.run(append=RECORDS)
+        published = pipeline.run(delete=RECORDS)
+        assert published.clusters == []
+        assert _canonical(published) == _canonical(_cold([]))
+        assert pipeline.last_report.num_records == 0
+        # The store can grow again after being emptied.
+        regrown = pipeline.run(append=RECORDS[:40])
+        assert _canonical(regrown) == _canonical(_cold(RECORDS[:40]))
+
+    def test_delete_missing_record_refused_and_rolled_back(self, tmp_path):
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "s"))
+        baseline = pipeline.run(append=RECORDS)
+        with pytest.raises(StoreError, match="does not hold"):
+            pipeline.run(
+                append=[frozenset({"kept?"})], delete=[frozenset({"never-there"})]
+            )
+        # The whole delta rolled back: the append did not land either.
+        assert _canonical(pipeline.run()) == _canonical(baseline)
+
+    def test_duplicate_deletes_remove_distinct_occurrences(self, tmp_path):
+        """Deleting the same content twice removes two stored occurrences."""
+        twice = [frozenset({"dup", "rec"})] * 2 + RECORDS[:50]
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "s"))
+        pipeline.run(append=twice)
+        published = pipeline.run(
+            delete=[frozenset({"dup", "rec"}), frozenset({"dup", "rec"})]
+        )
+        assert _canonical(published) == _canonical(_cold(RECORDS[:50]))
+
+
+class TestStoreValidation:
+    def test_store_requires_store_dir(self):
+        with pytest.raises(ParameterError, match="store_dir"):
+            IncrementalPipeline(
+                PARAMS, StreamParams(shards=3, max_records_in_memory=100)
+            )
+
+    def test_parameter_fingerprint_mismatch_refused(self, tmp_path):
+        IncrementalPipeline(PARAMS, _stream(tmp_path / "s")).run(append=RECORDS)
+        other = AnonymizationParams(k=5, m=2, max_cluster_size=12)
+        pipeline = IncrementalPipeline(other, _stream(tmp_path / "s"))
+        with pytest.raises(StoreError, match="output-affecting parameters"):
+            pipeline.run(append=[frozenset({"x"})])
+
+    def test_store_dir_not_part_of_fingerprint(self, tmp_path):
+        """Like spill_dir, the store's location is identity, not parameters."""
+        a = run_fingerprint(PARAMS, _stream(tmp_path / "a"))
+        b = run_fingerprint(PARAMS, _stream(tmp_path / "b"))
+        assert a == b
+
+    def test_store_survives_relocation(self, tmp_path):
+        """Moving the store directory keeps it usable (location != identity)."""
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "a"))
+        baseline = pipeline.run(append=RECORDS)
+        (tmp_path / "a").rename(tmp_path / "b")
+        moved = IncrementalPipeline(PARAMS, _stream(tmp_path / "b"))
+        assert _canonical(moved.run()) == _canonical(baseline)
+        assert moved.last_report.noop
+
+    def test_wrong_version_refused(self, tmp_path):
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "s"))
+        pipeline.run(append=RECORDS[:20])
+        with ShardStore(tmp_path / "s") as store:
+            store._db.execute("BEGIN IMMEDIATE")
+            store._set_meta("version", "999")
+            store._db.execute("COMMIT")
+        with pytest.raises(StoreError, match="version"):
+            pipeline.run()
+
+    def test_corrupt_database_refused(self, tmp_path):
+        (tmp_path / "s").mkdir()
+        (tmp_path / "s" / "store.sqlite").write_bytes(b"this is not sqlite" * 64)
+        with pytest.raises(StoreError):
+            IncrementalPipeline(PARAMS, _stream(tmp_path / "s")).run()
+
+    def test_plan_drift_refused_and_rolled_back(self, tmp_path):
+        """A delta that would change the horpart plan is rejected whole."""
+        pipeline = IncrementalPipeline(
+            PARAMS, _stream(tmp_path / "s", strategy="horpart")
+        )
+        records = list(
+            frozenset({f"p{i % 13}", f"q{i % 7}", f"r{i}"}) for i in range(160)
+        )
+        baseline = pipeline.run(append=records)
+        with pytest.raises(StoreError, match="plan fingerprint"):
+            pipeline.run(delete=records[:80])
+        # Nothing mutated: the store still answers with the old publication.
+        assert _canonical(pipeline.run()) == _canonical(baseline)
+
+    def test_strategy_mismatch_refused(self, tmp_path):
+        pipeline = IncrementalPipeline(
+            PARAMS, _stream(tmp_path / "s", strategy="horpart")
+        )
+        pipeline.run(append=RECORDS)
+        hashed = IncrementalPipeline(PARAMS, _stream(tmp_path / "s", strategy="hash"))
+        with pytest.raises(StoreError):
+            hashed.run(append=[frozenset({"x"})])
+
+    def test_store_error_is_checkpoint_error(self):
+        assert issubclass(StoreError, CheckpointError)
+
+    def test_delete_on_fresh_store_refused(self, tmp_path):
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "s"))
+        with pytest.raises(StoreError, match="uninitialized"):
+            pipeline.run(delete=[frozenset({"x"})])
+
+
+class TestMaintenance:
+    def test_compact_preserves_everything(self, tmp_path):
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "s"))
+        pipeline.run(append=RECORDS)
+        baseline = pipeline.run(delete=RECORDS[:60])
+        before = (tmp_path / "s" / "store.sqlite").stat().st_size
+        pipeline.compact()
+        after = (tmp_path / "s" / "store.sqlite").stat().st_size
+        assert after <= before
+        assert _canonical(pipeline.run()) == _canonical(baseline)
+
+    @pytest.mark.parametrize("point", ["store.open", "store.compact"])
+    def test_compact_faults(self, point, tmp_path):
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "s"))
+        pipeline.run(append=RECORDS[:30])
+        plan = faults.FaultPlan([faults.FaultSpec(point, hit=1)])
+        with faults.active(plan):
+            with pytest.raises(FaultInjected):
+                pipeline.compact()
+
+    def test_injection_points_registered(self):
+        for point in ("store.open", "store.validate", "store.mutate", "store.compact"):
+            assert point in faults.INJECTION_POINTS
+
+
+class TestServiceDelta:
+    def _config(self, tmp_path, **overrides) -> ServiceConfig:
+        values = dict(
+            k=3,
+            m=2,
+            max_cluster_size=12,
+            shards=3,
+            max_records_in_memory=100,
+            store_dir=str(tmp_path / "store"),
+        )
+        values.update(overrides)
+        return ServiceConfig(**values)
+
+    def test_delta_requires_store_dir(self, tmp_path):
+        with AnonymizationService(ServiceConfig(k=3, m=2, max_cluster_size=12)) as s:
+            with pytest.raises(ParameterError, match="store_dir"):
+                s.run(RECORDS[:20], mode="delta")
+
+    def test_delete_requires_delta_mode(self):
+        with pytest.raises(ParameterError, match='mode="delta"'):
+            AnonymizationRequest(RECORDS[:5], mode="batch", delete=RECORDS[:2])
+
+    def test_source_required_outside_delta(self):
+        with pytest.raises(ParameterError, match="source is required"):
+            AnonymizationRequest(None, mode="batch")
+
+    def test_sync_and_submit_delta(self, tmp_path):
+        with AnonymizationService(self._config(tmp_path)) as service:
+            first = service.run(RECORDS, mode="delta")
+            assert first.mode == "delta"
+            job = service.submit(None, mode="delta", delete=RECORDS[:4])
+            result = job.result()
+        assert _canonical(result.publication) == _canonical(_cold(RECORDS[4:]))
+
+    def test_delta_source_from_file(self, tmp_path):
+        path = tmp_path / "append.jsonl"
+        write_jsonl(RECORDS[:60], path)
+        with AnonymizationService(self._config(tmp_path)) as service:
+            result = service.run(str(path), mode="delta")
+        assert _canonical(result.publication) == _canonical(_cold(RECORDS[:60]))
+
+    def test_store_dir_in_env_config(self, tmp_path):
+        config = ServiceConfig.from_env(
+            {"REPRO_SERVICE_STORE_DIR": str(tmp_path / "s"), "REPRO_SERVICE_K": "3"}
+        )
+        assert config.store_dir == str(tmp_path / "s")
+        assert config.to_dict()["store_dir"] == str(tmp_path / "s")
+        assert ServiceConfig.from_dict(config.to_dict()).store_dir == config.store_dir
+
+
+class TestHttpDelta:
+    def test_http_delta_flow(self, tmp_path):
+        import urllib.error
+        import urllib.request
+
+        def post(url, body):
+            request = urllib.request.Request(
+                url + "/anonymize",
+                data=json.dumps(body).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request) as response:
+                    return response.status, json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                return error.code, json.loads(error.read())
+
+        config = ServiceConfig(
+            k=3,
+            m=2,
+            max_cluster_size=12,
+            shards=3,
+            max_records_in_memory=100,
+            store_dir=str(tmp_path / "store"),
+        )
+        records = [sorted(r) for r in RECORDS[:80]]
+        server = ServiceHTTPServer(AnonymizationService(config), port=0).start()
+        try:
+            status, body = post(server.url, {"mode": "delta", "records": records})
+            assert status == 200 and body["mode"] == "delta"
+            # "append" is accepted as an alias for "records".
+            status, body = post(
+                server.url, {"mode": "delta", "append": [["http-a", "http-b"]]}
+            )
+            assert status == 200
+            status, body = post(
+                server.url, {"mode": "delta", "delete": [records[0]]}
+            )
+            assert status == 200
+            expected = _cold(
+                RECORDS[1:80] + [frozenset({"http-a", "http-b"})]
+            )
+            assert (
+                json.dumps(body["publication"], sort_keys=True)
+                == _canonical(expected)
+            )
+            # Empty delta: allowed in delta mode, served from the store.
+            status, body = post(server.url, {"mode": "delta"})
+            assert status == 200 and "no-op" in body["summary"]
+            # Conflicting delta: deleting an absent record answers 409.
+            status, body = post(
+                server.url, {"mode": "delta", "delete": [["absent-record"]]}
+            )
+            assert status == 409 and body["kind"] == "checkpoint_conflict"
+            # Non-delta requests still require records.
+            status, body = post(server.url, {"mode": "batch"})
+            assert status == 400
+        finally:
+            server.close()
+
+    def test_store_error_classified_as_conflict(self):
+        status, kind, _ = classify_error(StoreError("boom"))
+        assert (status, kind) == (409, "checkpoint_conflict")
+        status, kind, _ = classify_error(CheckpointError("boom"))
+        assert (status, kind) == (409, "checkpoint_conflict")
+
+
+class TestCliDelta:
+    def _write_transactions(self, path, records):
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(" ".join(sorted(record)) + "\n")
+
+    def test_cli_delta_flow(self, tmp_path, capsys):
+        base = tmp_path / "base.jsonl"
+        write_jsonl(RECORDS[:90], base)
+        churn = tmp_path / "churn.jsonl"
+        write_jsonl(RECORDS[:5], churn)
+        out = tmp_path / "pub.json"
+        common = [
+            "--k", "3", "--max-cluster-size", "12",
+            "--shards", "3", "--max-records-in-memory", "100",
+            "--store-dir", str(tmp_path / "store"), "--output", str(out),
+        ]
+        assert main(["anonymize", str(base), *common]) == 0
+        assert main(["anonymize", "--delete", str(churn), *common]) == 0
+        published = json.loads(out.read_text())
+        assert json.dumps(published, sort_keys=True) == _canonical(
+            _cold(RECORDS[5:90])
+        )
+
+    def test_cli_append_flag(self, tmp_path):
+        extra = tmp_path / "extra.jsonl"
+        write_jsonl(RECORDS[:30], extra)
+        out = tmp_path / "pub.json"
+        common = [
+            "--k", "3", "--max-cluster-size", "12",
+            "--shards", "3", "--max-records-in-memory", "100",
+            "--store-dir", str(tmp_path / "store"), "--output", str(out),
+        ]
+        assert main(["anonymize", "--append", str(extra), *common]) == 0
+        assert json.loads(out.read_text()) == json.loads(
+            _canonical(_cold(RECORDS[:30]))
+        )
+
+    def test_cli_append_without_store_dir_rejected(self, tmp_path, capsys):
+        code = main(
+            ["anonymize", "--append", "x.txt", "--output", str(tmp_path / "o.json")]
+        )
+        assert code == 2
+        assert "--store-dir" in capsys.readouterr().err
+
+    def test_cli_input_required_without_store_dir(self, tmp_path, capsys):
+        code = main(["anonymize", "--output", str(tmp_path / "o.json")])
+        assert code == 2
+        assert "input" in capsys.readouterr().err
+
+    def test_cli_store_dir_conflicts_with_resume(self, tmp_path, capsys):
+        code = main(
+            [
+                "anonymize", "in.txt", "--stream", "--resume",
+                "--spill-dir", str(tmp_path / "spill"),
+                "--store-dir", str(tmp_path / "store"),
+                "--output", str(tmp_path / "o.json"),
+            ]
+        )
+        assert code == 2
+        assert "incremental" in capsys.readouterr().err
+
+    def test_cli_input_and_append_both_rejected(self, tmp_path, capsys):
+        code = main(
+            [
+                "anonymize", "a.txt", "--append", "b.txt",
+                "--store-dir", str(tmp_path / "store"),
+                "--output", str(tmp_path / "o.json"),
+            ]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err

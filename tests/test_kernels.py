@@ -27,10 +27,9 @@ from repro.core.dataset import TransactionDataset
 from repro.core.engine import AnonymizationParams, Disassociator
 from repro.core.horizontal import horizontal_partition_indices
 from repro.core.vocab import EncodedDataset, Vocabulary
-from repro.datasets.quest import generate_quest
-from repro.datasets.scenarios import generate_clickstream, generate_zipf_basket
 from repro.exceptions import ParameterError
 from repro.stream import ShardedPipeline, StreamParams
+from tests.conftest import make_workload
 
 requires_numpy = pytest.mark.skipif(
     not kernels.numpy_available(), reason="numpy >= 2.0 not importable"
@@ -41,20 +40,12 @@ SCENARIOS = ("quest", "zipf", "clickstream")
 
 def _scenario_dataset(name: str, seed: int) -> TransactionDataset:
     if name == "quest":
-        return generate_quest(
-            num_transactions=400, domain_size=120, avg_transaction_size=6.0, seed=seed
-        )
+        return make_workload("quest", records=400, domain=120, avg_len=6.0, seed=seed)
     if name == "zipf":
-        return generate_zipf_basket(
-            num_transactions=400, domain_size=150, avg_basket_size=5.0, seed=seed
-        )
+        return make_workload("zipf", records=400, domain=150, avg_len=5.0, seed=seed)
     if name == "clickstream":
-        return generate_clickstream(
-            num_sessions=400,
-            num_pages=150,
-            num_sections=6,
-            avg_session_length=5.0,
-            seed=seed,
+        return make_workload(
+            "clickstream", records=400, domain=150, avg_len=5.0, seed=seed, sections=6
         )
     raise AssertionError(name)
 

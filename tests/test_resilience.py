@@ -23,10 +23,9 @@ import pytest
 from repro import faults
 from repro.core.engine import AnonymizationParams
 from repro.core.verification import audit
-from repro.datasets.quest import generate_quest
-from repro.datasets.scenarios import SCENARIOS
 from repro.exceptions import CheckpointError, FaultInjected, ParameterError
 from repro.stream import RunManifest, ShardedPipeline, StreamParams
+from tests.conftest import make_workload
 
 PARAMS = AnonymizationParams(k=3, m=2, max_cluster_size=12)
 
@@ -46,14 +45,10 @@ CRASH_POINTS = [
 
 def _workloads():
     return {
-        "quest": generate_quest(
-            num_transactions=400, domain_size=100, avg_transaction_size=8.0, seed=11
-        ),
-        "zipf": SCENARIOS["ZIPF"](
-            num_transactions=300, domain_size=80, avg_basket_size=6.0, seed=11
-        ),
-        "clickstream": SCENARIOS["CLICKSTREAM"](
-            num_sessions=300, num_pages=60, avg_session_length=5.0, seed=11
+        "quest": make_workload("quest", records=400, domain=100, avg_len=8.0, seed=11),
+        "zipf": make_workload("zipf", records=300, domain=80, avg_len=6.0, seed=11),
+        "clickstream": make_workload(
+            "clickstream", records=300, domain=60, avg_len=5.0, seed=11
         ),
     }
 
@@ -224,12 +219,7 @@ class TestEnvDrivenFaults:
     )
     def test_env_armed_crash_then_resume(self, tmp_path):
         records = list(
-            generate_quest(
-                num_transactions=400,
-                domain_size=100,
-                avg_transaction_size=8.0,
-                seed=11,
-            )
+            make_workload("quest", records=400, domain=100, avg_len=8.0, seed=11)
         )
         # Fresh counters, and the plan armed at import is disarmed so the
         # oracle and resume runs are not themselves crashed.

@@ -31,9 +31,8 @@ from repro.core.engine import AnonymizationParams, Disassociator
 from repro.core.horizontal import horizontal_partition
 from repro.core.vertical import vertical_partition_fast, vertical_partition_wave
 from repro.core.vocab import SubrecordArena
-from repro.datasets.quest import generate_quest
-from repro.datasets.scenarios import generate_clickstream, generate_zipf_basket
 from repro.exceptions import ParameterError
+from tests.conftest import make_workload
 
 requires_numpy = pytest.mark.skipif(
     not kernels.numpy_available(), reason="numpy >= 2.0 not importable"
@@ -44,20 +43,12 @@ SCENARIOS = ("quest", "zipf", "clickstream")
 
 def _scenario_dataset(name: str, seed: int) -> TransactionDataset:
     if name == "quest":
-        return generate_quest(
-            num_transactions=300, domain_size=90, avg_transaction_size=5.0, seed=seed
-        )
+        return make_workload("quest", records=300, domain=90, avg_len=5.0, seed=seed)
     if name == "zipf":
-        return generate_zipf_basket(
-            num_transactions=300, domain_size=120, avg_basket_size=4.0, seed=seed
-        )
+        return make_workload("zipf", records=300, domain=120, avg_len=4.0, seed=seed)
     if name == "clickstream":
-        return generate_clickstream(
-            num_sessions=300,
-            num_pages=120,
-            num_sections=5,
-            avg_session_length=4.0,
-            seed=seed,
+        return make_workload(
+            "clickstream", records=300, domain=120, avg_len=4.0, seed=seed, sections=5
         )
     raise AssertionError(name)
 
@@ -178,9 +169,7 @@ class TestPackedMinRows:
             AnonymizationParams(packed_min_rows=bad)
 
     def test_params_field_lands_in_counters(self):
-        dataset = generate_quest(
-            num_transactions=60, domain_size=30, avg_transaction_size=3.0, seed=3
-        )
+        dataset = make_workload("quest", records=60, domain=30, avg_len=3.0, seed=3)
         engine = Disassociator(AnonymizationParams(k=3, packed_min_rows=123))
         engine.anonymize(dataset)
         assert engine.last_report.counters()["packed_min_rows"] == 123
