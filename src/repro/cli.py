@@ -174,6 +174,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="records to delete from the store (earliest surviving "
         "occurrence of each; requires --store-dir)",
     )
+    anonymize.add_argument(
+        "--delta-id",
+        default=None,
+        metavar="TOKEN",
+        help="idempotency token for the --store-dir delta: the store "
+        "commits a mutation at most once per token, so re-running a "
+        "crashed delta with the same --delta-id can never apply it "
+        "twice (requires --store-dir; pick a fresh token per logical "
+        "delta)",
+    )
 
     reconstruct = subparsers.add_parser(
         "reconstruct", help="sample a reconstructed dataset from a published JSON"
@@ -270,6 +280,13 @@ def _cmd_anonymize(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.delta_id:
+            print(
+                "error: --delta-id is the idempotency token of a store "
+                "delta and requires --store-dir",
+                file=sys.stderr,
+            )
+            return 2
         if args.input is None:
             print("error: an input dataset file is required", file=sys.stderr)
             return 2
@@ -277,8 +294,10 @@ def _cmd_anonymize(args) -> int:
         if args.resume:
             print(
                 "error: --store-dir runs are incremental, not resumed "
-                "checkpoint runs; drop --resume (re-running the same delta "
-                "against the store finishes an interrupted run)",
+                "checkpoint runs; drop --resume (to recover an interrupted "
+                "delta, re-run it with the same --delta-id, or run a "
+                "reconcile-only delta -- no input/--append/--delete -- "
+                "which finishes stale windows without mutating anything)",
                 file=sys.stderr,
             )
             return 2
@@ -309,6 +328,7 @@ def _cmd_anonymize(args) -> int:
             mode="delta",
             deadline=args.deadline,
             delete=args.delete,
+            delta_id=args.delta_id,
         )
     else:
         request = AnonymizationRequest(

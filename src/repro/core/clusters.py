@@ -23,6 +23,7 @@ These classes are pure containers: the construction logic lives in
 from __future__ import annotations
 
 import gc
+import threading
 from collections import Counter
 from collections.abc import Iterable, Iterator, Sequence
 from contextlib import contextmanager
@@ -30,6 +31,13 @@ from typing import Optional, Union
 
 from repro.exceptions import DatasetFormatError
 from repro.core.dataset import TransactionDataset
+
+#: Guards the process-wide pause depth below (the collector itself is
+#: process-global, so overlapping pauses from concurrent service workers
+#: must coordinate through one counter).
+_GC_PAUSE_LOCK = threading.Lock()
+_gc_pause_depth = 0
+_gc_reenable = False
 
 
 @contextmanager
@@ -41,18 +49,28 @@ def paused_gc():
     the operation finishes, so every generational collection triggered by
     the allocation count rescans a strictly growing live tree and frees
     nothing -- on a ~100k-record publication that multiplies the
-    serialization cost by roughly 10x.  No-op when the collector is
-    already disabled (reentrant, and respects an application-level
-    ``gc.disable()``).
+    serialization cost by roughly 10x.
+
+    Reentrant and thread-safe: overlapping sections (nested calls, or
+    concurrent service workers) share one process-wide pause depth -- the
+    first section in disables the collector, the last one out re-enables
+    it, and an application-level ``gc.disable()`` already in effect when
+    the first section enters is respected (never undone here).
     """
-    if not gc.isenabled():
-        yield
-        return
-    gc.disable()
+    global _gc_pause_depth, _gc_reenable
+    with _GC_PAUSE_LOCK:
+        if _gc_pause_depth == 0:
+            _gc_reenable = gc.isenabled()
+            if _gc_reenable:
+                gc.disable()
+        _gc_pause_depth += 1
     try:
         yield
     finally:
-        gc.enable()
+        with _GC_PAUSE_LOCK:
+            _gc_pause_depth -= 1
+            if _gc_pause_depth == 0 and _gc_reenable:
+                gc.enable()
 
 
 def _as_record(terms: Iterable) -> frozenset:

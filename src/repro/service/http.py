@@ -39,9 +39,12 @@ requires ``"mode": "stream"``).  With ``"mode": "delta"`` the body
 mutates the service's persistent shard store instead: ``"records"``
 (alias ``"append"``) holds the records to append, ``"delete"`` the
 records to remove, either side may be empty or absent (an empty delta
-answers with the stored publication), and a request conflicting with the
-store's durable identity (wrong parameters, plan drift, deleting an
-absent record) answers ``409`` (kind ``checkpoint_conflict``).  The
+answers with the stored publication), ``"delta_id"`` optionally carries
+a client idempotency token (re-POSTing the same delta with the same
+token after a crash or ambiguous timeout never double-applies it), and
+a request conflicting with the store's durable identity (wrong
+parameters, plan drift, deleting an absent record, a reused token with
+different contents) answers ``409`` (kind ``checkpoint_conflict``).  The
 publication bytes are exactly ``service.run(...)``'s (bit-for-bit;
 covered by the test suite and the throughput benchmark).
 """
@@ -273,11 +276,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_anonymize(self, payload: dict) -> None:
         mode = payload.get("mode", "auto")
+        delta_id = payload.get("delta_id")
         if mode == "delta":
             # Delta bodies mutate the configured store: "records" (alias
             # "append") holds the appends and "delete" the removals; either
             # side may be absent, and an entirely empty delta is the no-op
-            # fast path answered from the stored publication.
+            # fast path answered from the stored publication.  "delta_id"
+            # is the client's idempotency token -- re-POSTing the same
+            # delta with the same token never double-applies it.
             records = payload.get("records", payload.get("append"))
             delete = payload.get("delete")
             for name, value in (("records", records), ("delete", delete)):
@@ -285,6 +291,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     raise _HttpError(
                         400, f'"{name}" must be a list of term arrays'
                     )
+            if delta_id is not None and not isinstance(delta_id, str):
+                raise _HttpError(400, '"delta_id" must be a string')
         else:
             records = payload.get("records")
             delete = None
@@ -300,6 +308,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             "deadline": payload.get("deadline"),
             "resume": bool(payload.get("resume", False)),
             "delete": delete,
+            "delta_id": delta_id,
         }
         try:
             # Non-blocking submit on both shapes: a full job queue answers

@@ -69,6 +69,14 @@ class AnonymizationRequest:
             appends in ``source`` as one atomic delta.  Only meaningful
             with ``mode="delta"``: a source of records/dataset/path, or
             ``None`` when the delta only deletes.
+        delta_id: optional client-supplied idempotency token for
+            ``mode="delta"``: the store commits a mutation at most once
+            per token, so re-submitting the same delta with the same
+            token after a crash (or timeout of unknown outcome) cannot
+            double-apply it.  Omitted, the service generates one per
+            request -- its own transparent retries stay idempotent, but
+            a *re-submitted* request counts as a new delta.  Must be
+            unique per logical delta.
     """
 
     source: Union[TransactionDataset, PathLike, Any] = None
@@ -80,6 +88,7 @@ class AnonymizationRequest:
     deadline: Optional[float] = None
     resume: bool = False
     delete: Union[TransactionDataset, PathLike, Any] = None
+    delta_id: Optional[str] = None
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -98,6 +107,16 @@ class AnonymizationRequest:
                 'delete requires mode="delta": only incremental runs over a '
                 "persistent store can remove records"
             )
+        if self.delta_id is not None:
+            if self.mode != "delta":
+                raise ParameterError(
+                    'delta_id requires mode="delta": it is the idempotency '
+                    "token of one incremental mutation"
+                )
+            if not isinstance(self.delta_id, str) or not self.delta_id:
+                raise ParameterError(
+                    f"delta_id must be a non-empty string, got {self.delta_id!r}"
+                )
         if self.source is None and self.mode != "delta":
             raise ParameterError(
                 "source is required (only a delta request may omit it, "

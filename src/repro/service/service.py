@@ -511,8 +511,14 @@ class AnonymizationService:
         # One idempotency token per *request* (not per attempt): a delta
         # whose mutation committed before a transient crash is not
         # re-applied by the retry -- the store recognizes the token and the
-        # retry only finishes windows and publication.
-        state: dict = {"mode": None, "report": None, "delta_id": uuid.uuid4().hex}
+        # retry only finishes windows and publication.  A client-supplied
+        # delta_id extends the same guarantee across request boundaries
+        # (crash recovery, at-most-once re-submission).
+        state: dict = {
+            "mode": None,
+            "report": None,
+            "delta_id": request.delta_id or uuid.uuid4().hex,
+        }
         error = True
         try:
             result = self._execute_with_retry(

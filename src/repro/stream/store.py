@@ -58,6 +58,19 @@ deadlines are honored at every phase boundary (``store.open``,
 streaming ``stream.window`` / ``stream.merge`` / ``stream.verify``
 points), so the fault-injection harness drives delta runs exactly like
 cold ones.
+
+Concurrency: incremental runs are mutually exclusive per store.  Every
+:meth:`IncrementalPipeline.run` (and :meth:`~IncrementalPipeline.compact`)
+holds an advisory lock -- a write transaction on the sibling
+``store.lock`` SQLite file -- for its whole duration, which serializes
+concurrent deltas both across threads of one process (a multi-worker
+service) and across processes (two services sharing a ``store_dir``).
+SQLite releases the lock automatically when its holder exits or crashes,
+so there are no stale locks to clean up.  A run that cannot acquire the
+lock within its timeout fails with :class:`~repro.exceptions.StoreError`
+and the store unmutated; idempotency tokens live in their own table
+(``applied_deltas``), so interleaved deltas can never clobber each
+other's tokens.
 """
 
 from __future__ import annotations
@@ -91,6 +104,16 @@ PathLike = Union[str, Path]
 #: File name of the SQLite database inside ``store_dir``.
 STORE_NAME = "store.sqlite"
 
+#: File name of the advisory lock database next to the store.  Exclusive
+#: opens hold a write transaction on it for the store's whole lifetime;
+#: SQLite's file locking makes that exclusion work across threads and
+#: processes alike, and drops it automatically if the holder crashes.
+LOCK_NAME = "store.lock"
+
+#: Default seconds an exclusive open waits for the store lock before
+#: failing with :class:`~repro.exceptions.StoreError`.
+LOCK_TIMEOUT = 30.0
+
 #: Store schema version; bump on any incompatible change.
 STORE_VERSION = 1
 
@@ -119,6 +142,11 @@ CREATE TABLE IF NOT EXISTS publication (
     generation INTEGER NOT NULL,
     payload    TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS applied_deltas (
+    delta_id   TEXT PRIMARY KEY,
+    generation INTEGER NOT NULL,
+    digest     TEXT NOT NULL
+);
 """
 
 
@@ -138,6 +166,25 @@ def window_fingerprint(texts: list) -> str:
     digest = hashlib.blake2b(digest_size=16)
     for text in texts:
         digest.update(text.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def delta_digest(append: list, delete: list) -> str:
+    """Content fingerprint of one delta (ordered appends, then deletes).
+
+    Stored with the delta's idempotency token so a replay is recognized
+    only when it carries the *same* mutation -- reusing a ``delta_id``
+    for a different delta is a caller bug and is refused instead of
+    silently dropping the new mutation.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for record in append:
+        digest.update(record_text(record).encode("utf-8"))
+        digest.update(b"\n")
+    digest.update(b"--\n")
+    for record in delete:
+        digest.update(record_text(record).encode("utf-8"))
         digest.update(b"\n")
     return digest.hexdigest()
 
@@ -167,22 +214,42 @@ class ShardStore:
 
     All methods raise :class:`~repro.exceptions.StoreError` on an
     unusable database.  Use as a context manager (or call :meth:`close`).
+
+    ``exclusive=True`` additionally acquires the store's advisory lock
+    (a write transaction on the sibling ``store.lock`` file) and holds it
+    until :meth:`close`, serializing whole runs against every other
+    exclusive opener -- other threads and other processes alike.  All
+    mutating entry points (:class:`IncrementalPipeline` runs, compaction)
+    open exclusively; plain opens are for read-only inspection.
     """
 
-    def __init__(self, store_dir: PathLike):
+    def __init__(
+        self,
+        store_dir: PathLike,
+        *,
+        exclusive: bool = False,
+        lock_timeout: float = LOCK_TIMEOUT,
+    ):
         faults.check("store.open")
         deadline.check("store.open")
         self.directory = Path(store_dir)
+        self._lock_db: Optional[sqlite3.Connection] = None
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise StoreError(f"cannot create store directory {store_dir}: {exc}") from exc
         self.path = store_path(self.directory)
+        if exclusive:
+            self._acquire_lock(lock_timeout)
         try:
             # Autocommit mode: transaction boundaries are explicit (BEGIN
             # IMMEDIATE/COMMIT), so every commit in this module is a
             # deliberate durability point, never a driver side effect.
             self._db = sqlite3.connect(self.path, isolation_level=None)
+        except sqlite3.Error as exc:
+            self._release_lock()
+            raise StoreError(f"cannot open shard store {self.path}: {exc}") from exc
+        try:
             # WAL + synchronous=NORMAL: commits stay atomic but no longer
             # fsync individually -- a power loss may roll the store back
             # to an earlier committed generation, which the delta protocol
@@ -195,7 +262,62 @@ class ShardStore:
             self._db.execute("PRAGMA synchronous=NORMAL")
             self._db.executescript(_SCHEMA)
         except sqlite3.Error as exc:
+            # Never abandon a half-opened connection: a leaked handle also
+            # pins the WAL lock, and store.open sits in fault-injection
+            # retry loops that would leak one per failed attempt.
+            self._db.close()
+            self._release_lock()
             raise StoreError(f"cannot open shard store {self.path}: {exc}") from exc
+
+    def _acquire_lock(self, timeout: float) -> None:
+        """Take the store's advisory lock, waiting up to ``timeout`` seconds.
+
+        The lock is ``BEGIN IMMEDIATE`` on the (otherwise empty)
+        ``store.lock`` database: SQLite allows exactly one pending write
+        transaction per database file, tracked correctly across threads
+        and processes, and abandons it with the holder's process.  The
+        wait loop honors the ambient deadline so a deadlined request
+        fails fast instead of burning its budget queueing on the lock.
+        """
+        try:
+            self._lock_db = sqlite3.connect(
+                self.directory / LOCK_NAME, isolation_level=None
+            )
+            self._lock_db.execute("PRAGMA busy_timeout=100")
+            give_up = time.monotonic() + timeout
+            while True:
+                try:
+                    self._lock_db.execute("BEGIN IMMEDIATE")
+                    return
+                except sqlite3.OperationalError as exc:
+                    if "lock" not in str(exc) and "busy" not in str(exc):
+                        raise
+                    deadline.check("store.open")
+                    if time.monotonic() >= give_up:
+                        raise StoreError(
+                            f"another run holds the lock on shard store "
+                            f"{self.path} (waited {timeout:.1f}s); incremental "
+                            "runs serialize per store -- retry once the "
+                            "other delta finishes"
+                        ) from None
+        except sqlite3.Error as exc:
+            self._release_lock()
+            raise StoreError(
+                f"cannot lock shard store {self.path}: {exc}"
+            ) from exc
+        except BaseException:
+            self._release_lock()
+            raise
+
+    def _release_lock(self) -> None:
+        """Drop the advisory lock (no-op for non-exclusive opens)."""
+        if self._lock_db is None:
+            return
+        try:
+            self._lock_db.close()  # closing rolls back the open transaction
+        except sqlite3.Error:  # pragma: no cover - defensive
+            pass
+        self._lock_db = None
 
     # -- lifecycle ------------------------------------------------------- #
     def __enter__(self) -> "ShardStore":
@@ -205,8 +327,9 @@ class ShardStore:
         self.close()
 
     def close(self) -> None:
-        """Close the underlying database connection."""
+        """Close the database connection and release the advisory lock."""
         self._db.close()
+        self._release_lock()
 
     # -- meta ------------------------------------------------------------- #
     def _meta(self, key: str) -> Optional[str]:
@@ -270,8 +393,26 @@ class ShardStore:
 
     @property
     def applied_delta(self) -> Optional[str]:
-        """The ``delta_id`` of the last committed mutation (idempotency token)."""
+        """The ``delta_id`` of the most recent committed mutation (reporting).
+
+        Idempotency checks go through :meth:`applied_digest` (the
+        ``applied_deltas`` table keeps *every* token, so interleaved
+        deltas cannot clobber each other's); this meta slot only names
+        the latest one for operators.
+        """
         return self._meta("applied_delta")
+
+    def applied_digest(self, delta_id: str) -> Optional[str]:
+        """The content digest committed under ``delta_id``, or ``None``.
+
+        ``None`` means no mutation with this token has ever committed;
+        a digest means the token's delta is already durable (compare it
+        against the replay's own digest before skipping the mutation).
+        """
+        row = self._db.execute(
+            "SELECT digest FROM applied_deltas WHERE delta_id = ?", (delta_id,)
+        ).fetchone()
+        return None if row is None else row[0]
 
     def plan(self) -> Optional[dict]:
         """The stored shard plan (``planner.describe()`` form), or ``None``."""
@@ -331,6 +472,7 @@ class ShardStore:
         *,
         stream: StreamParams,
         delta_id: Optional[str] = None,
+        digest: Optional[str] = None,
     ):
         """Apply one delta atomically; returns the planner in effect.
 
@@ -346,7 +488,8 @@ class ShardStore:
         windows under a different routing would diverge from a cold run.
 
         On a fresh store the plan is derived from the appended records'
-        prefix and recorded; ``delta_id`` (when given) is stored in the
+        prefix and recorded; ``delta_id`` (when given, with the delta's
+        ``digest``) is recorded in the ``applied_deltas`` table in the
         same commit, making retries of the same delta idempotent.
         """
         faults.check("store.mutate")
@@ -381,9 +524,15 @@ class ShardStore:
                     (planner.shard_of(record), record_text(record)),
                 )
             planner = self._reconcile_plan(planner, stream)
-            self._set_meta("generation", str(self.generation + 1))
+            generation = self.generation + 1
+            self._set_meta("generation", str(generation))
             if delta_id is not None:
                 self._set_meta("applied_delta", delta_id)
+                self._db.execute(
+                    "INSERT OR REPLACE INTO applied_deltas "
+                    "(delta_id, generation, digest) VALUES (?, ?, ?)",
+                    (delta_id, generation, digest if digest is not None else ""),
+                )
             self._db.execute("COMMIT")
         except BaseException:
             self._db.execute("ROLLBACK")
@@ -655,10 +804,18 @@ class IncrementalPipeline:
         straight from the stored publication.
 
         ``delta_id`` is an optional idempotency token: a mutation is
-        committed at most once per token, so the service layer can retry
-        a transiently failed delta without double-applying it -- the
-        retry skips the (already durable) mutation and finishes the
-        window reconciliation and publication instead.
+        committed at most once per token, so the service layer (or an
+        operator re-running a crashed CLI delta with ``--delta-id``) can
+        retry a failed delta without double-applying it -- the retry
+        skips the (already durable) mutation and finishes the window
+        reconciliation and publication instead.  Tokens must be unique
+        per logical delta: replaying a known token with *different*
+        append/delete contents raises :class:`StoreError`.
+
+        The run holds the store's advisory lock for its whole duration;
+        concurrent runs over the same store serialize behind it (one
+        that waits longer than the lock timeout fails with
+        :class:`StoreError` and can simply be retried).
         """
         report = IncrementalReport(
             num_shards=self.stream.shards,
@@ -671,7 +828,11 @@ class IncrementalPipeline:
         # the configured backend).
         with kernels.use(kernels.resolve(self.params.kernels)):
             start = time.perf_counter()
-            store = ShardStore(self.stream.store_dir)
+            # Exclusive: one run per store at a time.  Concurrent deltas
+            # (other service workers, other processes on the same
+            # store_dir) queue on the advisory lock instead of tearing
+            # each other's reconcile scans.
+            store = ShardStore(self.stream.store_dir, exclusive=True)
             report.open_seconds = time.perf_counter() - start
             try:
                 return self._run(store, list(append), list(delete), delta_id, report)
@@ -680,7 +841,7 @@ class IncrementalPipeline:
 
     def compact(self) -> None:
         """Compact the pipeline's store (see :meth:`ShardStore.compact`)."""
-        with ShardStore(self.stream.store_dir) as store:
+        with ShardStore(self.stream.store_dir, exclusive=True) as store:
             store.compact()
 
     # -- phases --------------------------------------------------------- #
@@ -710,14 +871,30 @@ class IncrementalPipeline:
         delete = [ensure_record(record) for record in delete]
         planner = self._planner(store)
         start = time.perf_counter()
-        if (append or delete) and delta_id is not None and store.applied_delta == delta_id:
+        applied = None
+        if (append or delete) and delta_id is not None:
+            applied = store.applied_digest(delta_id)
+        if applied is not None:
             # A previous attempt committed this exact delta before dying;
             # re-applying it would double-mutate.  Fall through to the
             # reconcile pass, which finishes whatever that attempt left.
+            # A token reused for *different* content is a caller bug --
+            # refuse it rather than silently dropping the new mutation.
+            if applied != delta_digest(append, delete):
+                raise StoreError(
+                    f"delta_id {delta_id!r} was already applied to "
+                    f"{store.path} with different contents; idempotency "
+                    "tokens must be unique per logical delta"
+                )
             report.delta_replayed = True
         elif append or delete:
             planner = store.apply_delta(
-                append, delete, planner, stream=self.stream, delta_id=delta_id
+                append,
+                delete,
+                planner,
+                stream=self.stream,
+                delta_id=delta_id,
+                digest=delta_digest(append, delete) if delta_id is not None else None,
             )
             report.appended, report.deleted = len(append), len(delete)
         report.planner = planner.describe()
@@ -813,84 +990,85 @@ class IncrementalPipeline:
         else:
             engine = Disassociator(window_params, keep_pool=True)
         try:
-            # One GC pause for the whole walk: the cluster list only grows
-            # until the merge, so letting the allocation-count heuristic
-            # trigger full collections between windows rescans an ever
-            # larger live tree for nothing.
-            with paused_gc():
-                for shard in range(self.stream.shards):
-                    # One interning table per shard (lazy: only shards that
-                    # actually recompute a window pay for it); reuse across
-                    # the shard's recomputed windows mirrors the cold
-                    # executor and is output-invariant either way.
-                    shard_vocab: Optional[Vocabulary] = None
-                    after_seq, win = -1, 0
-                    while True:
-                        rows = store.window_texts(shard, after_seq, bound)
-                        if not rows:
-                            break
-                        after_seq = rows[-1][0]
-                        texts = [row[1] for row in rows]
-                        fingerprint = window_fingerprint(texts)
-                        stored = store.get_window(shard, win)
-                        if stored is not None and stored[0] == fingerprint:
-                            cached = self._window_cache.get((shard, win))
-                            if cached is not None and cached[0] == fingerprint:
-                                window_clusters = cached[1]
-                            else:
+            # GC pauses are scoped to the snapshot (de)serialization
+            # bursts -- the allocation storms whose garbage is all
+            # retained anyway -- never across engine.anonymize, whose
+            # cyclic garbage must stay collectable on large builds.
+            for shard in range(self.stream.shards):
+                # One interning table per shard (lazy: only shards that
+                # actually recompute a window pay for it); reuse across
+                # the shard's recomputed windows mirrors the cold
+                # executor and is output-invariant either way.
+                shard_vocab: Optional[Vocabulary] = None
+                after_seq, win = -1, 0
+                while True:
+                    rows = store.window_texts(shard, after_seq, bound)
+                    if not rows:
+                        break
+                    after_seq = rows[-1][0]
+                    texts = [row[1] for row in rows]
+                    fingerprint = window_fingerprint(texts)
+                    stored = store.get_window(shard, win)
+                    if stored is not None and stored[0] == fingerprint:
+                        cached = self._window_cache.get((shard, win))
+                        if cached is not None and cached[0] == fingerprint:
+                            window_clusters = cached[1]
+                        else:
+                            with paused_gc():
                                 window_clusters = [
                                     cluster_from_payload(payload)
                                     for payload in json.loads(stored[1])
                                 ]
-                                self._window_cache[(shard, win)] = (
-                                    fingerprint,
-                                    window_clusters,
-                                )
-                            clusters.extend(window_clusters)
-                            report.windows_reused += 1
-                        else:
-                            faults.check("stream.window")
-                            deadline.check("stream.window")
-                            if reuse_vocab and shard_vocab is None:
-                                shard_vocab = Vocabulary()
-                            engine.vocabulary = shard_vocab
-                            batch = [
-                                normalize_record(json.loads(t)) for t in texts
-                            ]
-                            published = engine.anonymize(
-                                TransactionDataset(batch)
+                            self._window_cache[(shard, win)] = (
+                                fingerprint,
+                                window_clusters,
                             )
-                            prefix = f"S{shard}W{win}."
-                            relabeled = [
-                                relabel_cluster(cluster, prefix)
-                                for cluster in published.clusters
-                            ]
-                            store_start = time.perf_counter()
+                        clusters.extend(window_clusters)
+                        report.windows_reused += 1
+                    else:
+                        faults.check("stream.window")
+                        deadline.check("stream.window")
+                        if reuse_vocab and shard_vocab is None:
+                            shard_vocab = Vocabulary()
+                        engine.vocabulary = shard_vocab
+                        batch = [
+                            normalize_record(json.loads(t)) for t in texts
+                        ]
+                        published = engine.anonymize(
+                            TransactionDataset(batch)
+                        )
+                        prefix = f"S{shard}W{win}."
+                        relabeled = [
+                            relabel_cluster(cluster, prefix)
+                            for cluster in published.clusters
+                        ]
+                        store_start = time.perf_counter()
+                        with paused_gc():
                             snapshot = json.dumps(
                                 [cluster_to_payload(c) for c in relabeled],
                                 separators=(",", ":"),
                             )
-                            store.put_window(
-                                shard, win, fingerprint, len(texts), snapshot
-                            )
-                            store_seconds += time.perf_counter() - store_start
-                            self._window_cache[(shard, win)] = (
-                                fingerprint,
-                                relabeled,
-                            )
-                            clusters.extend(relabeled)
-                            report.windows_recomputed += 1
-                        win += 1
-                        if len(rows) < bound:
-                            break
-                    report.shard_windows[shard] = win
-                    store.drop_windows_from(shard, win)
-                    for key in [
-                        k
-                        for k in self._window_cache
-                        if k[0] == shard and k[1] >= win
-                    ]:
-                        del self._window_cache[key]
+                        store.put_window(
+                            shard, win, fingerprint, len(texts), snapshot
+                        )
+                        store_seconds += time.perf_counter() - store_start
+                        self._window_cache[(shard, win)] = (
+                            fingerprint,
+                            relabeled,
+                        )
+                        clusters.extend(relabeled)
+                        report.windows_recomputed += 1
+                    win += 1
+                    if len(rows) < bound:
+                        break
+                report.shard_windows[shard] = win
+                store.drop_windows_from(shard, win)
+                for key in [
+                    k
+                    for k in self._window_cache
+                    if k[0] == shard and k[1] >= win
+                ]:
+                    del self._window_cache[key]
         finally:
             if borrowed is None:
                 engine.close()

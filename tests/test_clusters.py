@@ -263,3 +263,62 @@ class TestDisassociatedDataset:
     def test_iteration_and_len(self, published):
         assert len(published) == 1
         assert list(iter(published)) == published.clusters
+
+
+class TestPausedGC:
+    """The process-global GC pause must be reentrant and thread-safe."""
+
+    def test_nested_pauses_restore_only_at_outermost_exit(self):
+        import gc
+
+        from repro.core.clusters import paused_gc
+
+        assert gc.isenabled()
+        with paused_gc():
+            assert not gc.isenabled()
+            with paused_gc():
+                assert not gc.isenabled()
+            # The inner exit must not re-enable under the outer pause.
+            assert not gc.isenabled()
+        assert gc.isenabled()
+
+    def test_respects_application_level_disable(self):
+        import gc
+
+        from repro.core.clusters import paused_gc
+
+        gc.disable()
+        try:
+            with paused_gc():
+                assert not gc.isenabled()
+            assert not gc.isenabled()  # never undoes the caller's disable
+        finally:
+            gc.enable()
+
+    def test_overlapping_threads_keep_gc_paused(self):
+        import gc
+        import threading
+
+        from repro.core.clusters import paused_gc
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with paused_gc():
+                entered.set()
+                release.wait(timeout=10)
+
+        worker = threading.Thread(target=hold)
+        worker.start()
+        try:
+            assert entered.wait(timeout=10)
+            # Entering and leaving a pause on this thread while the worker
+            # still holds its own must not re-enable the collector.
+            with paused_gc():
+                assert not gc.isenabled()
+            assert not gc.isenabled()
+        finally:
+            release.set()
+            worker.join(timeout=10)
+        assert gc.isenabled()

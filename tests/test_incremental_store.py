@@ -418,3 +418,214 @@ class TestCliDelta:
         )
         assert code == 2
         assert "not both" in capsys.readouterr().err
+
+
+class TestIdempotencyTokens:
+    """Client-supplied delta_ids: at-most-once across request boundaries."""
+
+    def test_cross_delta_retry_not_double_applied(self, tmp_path):
+        """A crashed delta's re-run stays idempotent even after other deltas.
+
+        Tokens live in their own table, so delta B committing between
+        delta A's crash and its re-run cannot clobber A's token and trick
+        the re-run into appending A's records twice.
+        """
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "s"))
+        pipeline.run(append=RECORDS[:60], delta_id="delta-a")
+        pipeline.run(append=RECORDS[60:90], delta_id="delta-b")
+        replay = pipeline.run(append=RECORDS[:60], delta_id="delta-a")
+        assert pipeline.last_report.delta_replayed
+        assert pipeline.last_report.appended == 0
+        assert _canonical(replay) == _canonical(_cold(RECORDS[:90]))
+
+    def test_token_reuse_with_different_contents_refused(self, tmp_path):
+        pipeline = IncrementalPipeline(PARAMS, _stream(tmp_path / "s"))
+        baseline = pipeline.run(append=RECORDS[:30], delta_id="once")
+        with pytest.raises(StoreError, match="different contents"):
+            pipeline.run(append=RECORDS[30:40], delta_id="once")
+        # The refused delta mutated nothing.
+        assert _canonical(pipeline.run()) == _canonical(baseline)
+
+    def test_request_delta_id_requires_delta_mode(self):
+        with pytest.raises(ParameterError, match="delta_id"):
+            AnonymizationRequest(RECORDS[:5], mode="batch", delta_id="x")
+
+    def test_request_delta_id_must_be_nonempty_string(self):
+        with pytest.raises(ParameterError, match="non-empty"):
+            AnonymizationRequest(RECORDS[:5], mode="delta", delta_id="")
+
+    def test_service_resubmission_with_token_is_idempotent(self, tmp_path):
+        config = ServiceConfig(
+            k=3,
+            m=2,
+            max_cluster_size=12,
+            shards=3,
+            max_records_in_memory=100,
+            store_dir=str(tmp_path / "store"),
+        )
+        with AnonymizationService(config) as service:
+            first = service.run(RECORDS[:50], mode="delta", delta_id="day-1")
+            again = service.run(RECORDS[:50], mode="delta", delta_id="day-1")
+        oracle = _canonical(_cold(RECORDS[:50]))
+        assert _canonical(first.publication) == oracle
+        assert _canonical(again.publication) == oracle
+
+    def test_http_delta_id_resubmission(self, tmp_path):
+        import urllib.error
+        import urllib.request
+
+        def post(url, body):
+            request = urllib.request.Request(
+                url + "/anonymize",
+                data=json.dumps(body).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request) as response:
+                    return response.status, json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                return error.code, json.loads(error.read())
+
+        config = ServiceConfig(
+            k=3,
+            m=2,
+            max_cluster_size=12,
+            shards=3,
+            max_records_in_memory=100,
+            store_dir=str(tmp_path / "store"),
+        )
+        records = [sorted(r) for r in RECORDS[:60]]
+        server = ServiceHTTPServer(AnonymizationService(config), port=0).start()
+        try:
+            body = {"mode": "delta", "records": records, "delta_id": "retry-1"}
+            status, first = post(server.url, body)
+            assert status == 200
+            status, again = post(server.url, body)
+            assert status == 200
+            assert again["publication"] == first["publication"]
+            # A reused token with different contents is a 409 conflict.
+            status, body = post(
+                server.url,
+                {"mode": "delta", "records": [["new-a"]], "delta_id": "retry-1"},
+            )
+            assert status == 409 and body["kind"] == "checkpoint_conflict"
+            status, body = post(
+                server.url, {"mode": "delta", "delta_id": 7}
+            )
+            assert status == 400
+            status, body = post(
+                server.url, {"mode": "batch", "records": records, "delta_id": "x"}
+            )
+            assert status == 400
+        finally:
+            server.close()
+        oracle = _canonical(_cold(RECORDS[:60]))
+        assert json.dumps(first["publication"], sort_keys=True) == oracle
+
+    def test_cli_delta_id_rerun_is_idempotent(self, tmp_path):
+        base = tmp_path / "base.jsonl"
+        write_jsonl(RECORDS[:50], base)
+        out = tmp_path / "pub.json"
+        argv = [
+            "anonymize", str(base),
+            "--k", "3", "--max-cluster-size", "12",
+            "--shards", "3", "--max-records-in-memory", "100",
+            "--store-dir", str(tmp_path / "store"),
+            "--delta-id", "nightly-1",
+            "--output", str(out),
+        ]
+        assert main(argv) == 0
+        # Simulating crash recovery: the exact re-run must not duplicate.
+        assert main(argv) == 0
+        assert json.dumps(json.loads(out.read_text()), sort_keys=True) == _canonical(
+            _cold(RECORDS[:50])
+        )
+
+    def test_cli_delta_id_requires_store_dir(self, tmp_path, capsys):
+        code = main(
+            [
+                "anonymize", "in.txt", "--delta-id", "t",
+                "--output", str(tmp_path / "o.json"),
+            ]
+        )
+        assert code == 2
+        assert "--store-dir" in capsys.readouterr().err
+
+
+class TestStoreConcurrency:
+    """Runs over one store are serialized by the advisory store lock."""
+
+    def test_exclusive_lock_times_out_then_releases(self, tmp_path):
+        holder = ShardStore(tmp_path / "s", exclusive=True)
+        try:
+            with pytest.raises(StoreError, match="lock"):
+                ShardStore(tmp_path / "s", exclusive=True, lock_timeout=0.2)
+        finally:
+            holder.close()
+        # close() released the lock: the next exclusive open succeeds.
+        ShardStore(tmp_path / "s", exclusive=True, lock_timeout=0.2).close()
+
+    def test_plain_open_for_inspection_while_locked(self, tmp_path):
+        holder = ShardStore(tmp_path / "s", exclusive=True)
+        try:
+            with ShardStore(tmp_path / "s") as reader:
+                assert reader.num_records() == 0
+        finally:
+            holder.close()
+
+    def test_concurrent_deltas_serialize(self, tmp_path):
+        """Two simultaneous delta runs both land, with a consistent store.
+
+        Each thread drives its own IncrementalPipeline against the same
+        store_dir (exactly what a --workers 2 service does).  The lock
+        forces one full run after the other, so afterwards the store
+        holds both appends in some arrival order and an empty reconcile
+        publishes bit-for-bit what a cold run over that order would.
+        """
+        import threading
+
+        stream = _stream(tmp_path / "s")
+        errors = []
+
+        def run(chunk):
+            try:
+                IncrementalPipeline(PARAMS, stream).run(append=chunk)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(RECORDS[:50],)),
+            threading.Thread(target=run, args=(RECORDS[50:100],)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        with ShardStore(tmp_path / "s") as store:
+            texts = [
+                row[0]
+                for row in store._db.execute(
+                    "SELECT record FROM records ORDER BY seq"
+                )
+            ]
+        arrival = [frozenset(json.loads(text)) for text in texts]
+        assert len(arrival) == 100
+        final = IncrementalPipeline(PARAMS, stream).run()
+        assert _canonical(final) == _canonical(_cold(arrival))
+
+    def test_failed_open_leaks_no_file_handles(self, tmp_path):
+        import os
+
+        fd_dir = "/proc/self/fd"
+        if not os.path.isdir(fd_dir):  # pragma: no cover - non-Linux
+            pytest.skip("needs /proc to count open file descriptors")
+        (tmp_path / "s").mkdir()
+        (tmp_path / "s" / "store.sqlite").write_bytes(b"this is not sqlite" * 64)
+        with pytest.raises(StoreError):
+            ShardStore(tmp_path / "s")
+        before = len(os.listdir(fd_dir))
+        for _ in range(5):
+            with pytest.raises(StoreError):
+                ShardStore(tmp_path / "s")
+        assert len(os.listdir(fd_dir)) == before
