@@ -7,6 +7,13 @@ an original :class:`~repro.core.dataset.TransactionDataset` or a
 reconstruction, so analysts can run the same workload on both sides and
 compare answers (which is precisely what the paper's utility evaluation
 does).
+
+Each helper also accepts a :class:`~repro.pubstore.QueryEngine`, which
+answers from the indexed :class:`~repro.pubstore.PublicationStore` (or its
+in-memory equivalent) instead of scanning -- same signature, bit-for-bit
+the same answer.  Dispatch is duck-typed on the engine's matching method,
+so this module never imports :mod:`repro.pubstore` (which sits above it in
+the dependency order).
 """
 
 from __future__ import annotations
@@ -20,6 +27,9 @@ from repro.mining.itemsets import itemset_supports
 
 def top_terms(dataset: TransactionDataset, count: int = 10) -> list[tuple[str, int]]:
     """The ``count`` most frequent terms with their supports."""
+    handler = getattr(dataset, "top_terms", None)
+    if callable(handler):
+        return handler(count)
     supports = dataset.term_supports()
     ordered = sorted(supports.items(), key=lambda pair: (-pair[1], pair[0]))
     return ordered[:count]
@@ -27,11 +37,17 @@ def top_terms(dataset: TransactionDataset, count: int = 10) -> list[tuple[str, i
 
 def cooccurrence_count(dataset: TransactionDataset, terms: Iterable) -> int:
     """Number of records containing *all* the given terms."""
+    handler = getattr(dataset, "cooccurrence_count", None)
+    if callable(handler):
+        return handler(terms)
     return dataset.support(terms)
 
 
 def containment_ratio(dataset: TransactionDataset, terms: Iterable) -> float:
     """Fraction of records containing all the given terms."""
+    handler = getattr(dataset, "containment_ratio", None)
+    if callable(handler):
+        return handler(terms)
     if len(dataset) == 0:
         return 0.0
     return dataset.support(terms) / len(dataset)
@@ -44,6 +60,9 @@ def rule_confidence(
 
     Returns ``None`` when the antecedent never occurs (undefined confidence).
     """
+    handler = getattr(dataset, "rule_confidence", None)
+    if callable(handler):
+        return handler(antecedent, consequent)
     antecedent = frozenset(str(t) for t in antecedent)
     consequent = frozenset(str(t) for t in consequent)
     base = dataset.support(antecedent)
@@ -56,6 +75,9 @@ def frequent_pairs(
     dataset: TransactionDataset, min_support: int
 ) -> list[tuple[tuple, int]]:
     """All term pairs with support at least ``min_support`` (most frequent first)."""
+    handler = getattr(dataset, "frequent_pairs", None)
+    if callable(handler):
+        return handler(min_support)
     counts = itemset_supports(dataset, max_size=2)
     pairs = [
         (itemset, support)

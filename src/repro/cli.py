@@ -18,9 +18,14 @@ Sub-commands:
   click-stream, or a POS/WV1/WV2 proxy) as a transaction file.
 * ``audit``       -- independently re-check the k^m-anonymity of a published
   JSON.
+* ``query``       -- answer one analysis query (``top_terms``,
+  ``cooccurrence_count``, ``frequent_pairs``, ``expected_support``, ...)
+  from an indexed :class:`~repro.pubstore.PublicationStore` directory
+  (``--store``) or, identically, from a published JSON (``--publication``).
 * ``serve``       -- run the HTTP front door: a long-lived multi-worker
   :class:`~repro.service.AnonymizationService` behind ``POST /anonymize``,
-  ``GET /jobs/<id>``, ``GET /stats`` and ``GET /healthz`` (see
+  ``GET /jobs/<id>``, ``GET /stats``, ``GET /healthz`` and (with
+  ``--pubstore-dir``) ``GET`` / ``POST /query`` (see
   ``docs/OPERATIONS.md`` for deployment guidance).
 
 Examples::
@@ -32,6 +37,9 @@ Examples::
     repro anonymize day1.txt --store-dir ./store --output pub.json
     repro anonymize day2.txt --store-dir ./store --delete churned.txt \\
         --output pub.json
+    repro anonymize pos.txt --k 5 --m 2 --output pub.json --pubstore-dir ./pub
+    repro query top_terms --store ./pub --count 10
+    repro query expected_support --store ./pub --terms beer diapers
     repro evaluate pos.txt pos.published.json
     repro reconstruct pos.published.json --seed 3 --output world.txt
     repro serve --port 8350 --workers 2 --max-pending 64
@@ -56,6 +64,7 @@ from repro.datasets.real_proxies import available_datasets, load_proxy
 from repro.datasets.scenarios import SCENARIOS
 from repro.exceptions import ReproError
 from repro.experiments.harness import ExperimentConfig, evaluate as evaluate_metrics
+from repro.pubstore import QUERY_OPS
 from repro.service import AnonymizationRequest, AnonymizationService, ServiceConfig
 from repro.service.http import DEFAULT_HOST, DEFAULT_PORT, ServiceHTTPServer
 from repro.stream import DEFAULT_MAX_RECORDS_IN_MEMORY, DEFAULT_SHARDS, STRATEGIES
@@ -184,6 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
         "twice (requires --store-dir; pick a fresh token per logical "
         "delta)",
     )
+    anonymize.add_argument(
+        "--pubstore-dir",
+        default=None,
+        metavar="DIR",
+        help="also persist the publication as an indexed query store "
+        "there (see 'repro query'); with --store-dir the incremental "
+        "pipeline keeps the store's indexes in sync on every delta",
+    )
 
     reconstruct = subparsers.add_parser(
         "reconstruct", help="sample a reconstructed dataset from a published JSON"
@@ -218,6 +235,67 @@ def build_parser() -> argparse.ArgumentParser:
     audit_cmd = subparsers.add_parser("audit", help="re-check a published JSON")
     audit_cmd.add_argument("input", help="published JSON path")
 
+    query = subparsers.add_parser(
+        "query", help="answer an analysis query from a publication store"
+    )
+    query.add_argument(
+        "op",
+        choices=list(QUERY_OPS),
+        help="the query operation (see repro.pubstore.QueryEngine)",
+    )
+    query.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="publication store directory (indexed; built by "
+        "--pubstore-dir or PublicationResult.save_store)",
+    )
+    query.add_argument(
+        "--publication",
+        default=None,
+        metavar="FILE",
+        help="published JSON to answer from in memory instead of a store "
+        "(same answers, bit for bit; no index build needed)",
+    )
+    query.add_argument(
+        "--terms", nargs="+", default=None, metavar="TERM", help="itemset terms"
+    )
+    query.add_argument(
+        "--antecedent",
+        nargs="+",
+        default=None,
+        metavar="TERM",
+        help="rule antecedent terms (rule_confidence)",
+    )
+    query.add_argument(
+        "--consequent",
+        nargs="+",
+        default=None,
+        metavar="TERM",
+        help="rule consequent terms (rule_confidence)",
+    )
+    query.add_argument(
+        "--count", type=int, default=None, help="result count for top_terms"
+    )
+    query.add_argument(
+        "--min-support",
+        type=int,
+        default=None,
+        help="support threshold for frequent_pairs",
+    )
+    query.add_argument(
+        "--reconstructions",
+        type=int,
+        default=None,
+        help="reconstructed worlds to average (reconstructed_support)",
+    )
+    query.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="random seed for reconstructed_support",
+    )
+
     serve = subparsers.add_parser(
         "serve", help="serve anonymization requests over HTTP (the front door)"
     )
@@ -249,6 +327,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--kernels", choices=["auto", "python", "numpy"], default=None
+    )
+    serve.add_argument(
+        "--pubstore-dir",
+        default=None,
+        metavar="DIR",
+        help="publication store directory answering GET/POST /query "
+        "(defaults to $REPRO_SERVICE_PUBSTORE_DIR)",
     )
     serve.add_argument(
         "--no-drain",
@@ -321,6 +406,7 @@ def _cmd_anonymize(args) -> int:
         shard_strategy=args.shard_strategy,
         spill_dir=args.spill_dir,
         store_dir=args.store_dir,
+        pubstore_dir=args.pubstore_dir,
     )
     if args.store_dir is not None:
         request = AnonymizationRequest(
@@ -340,6 +426,10 @@ def _cmd_anonymize(args) -> int:
     with AnonymizationService(config) as service:
         result = service.run(request)
     result.save(args.output)
+    if args.pubstore_dir is not None and args.store_dir is None:
+        # Delta runs already refreshed the store inside the pipeline
+        # (generation-stamped); batch/stream runs persist it here.
+        result.save_store(args.pubstore_dir).close()
     print(result.summary())
     return 0
 
@@ -400,6 +490,38 @@ def _cmd_audit(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_query(args) -> int:
+    from repro.pubstore import PublicationStore, QueryEngine
+
+    if (args.store is None) == (args.publication is None):
+        print(
+            "error: give exactly one source: --store DIR (indexed) or "
+            "--publication FILE (in-memory)",
+            file=sys.stderr,
+        )
+        return 2
+    params = {
+        name: value
+        for name, value in [
+            ("terms", args.terms),
+            ("antecedent", args.antecedent),
+            ("consequent", args.consequent),
+            ("count", args.count),
+            ("min_support", args.min_support),
+            ("reconstructions", args.reconstructions),
+        ]
+        if value is not None
+    }
+    if args.store is not None:
+        with PublicationStore(args.store) as store:
+            payload = QueryEngine(store, seed=args.seed).execute(args.op, params)
+    else:
+        published = read_disassociated_json(args.publication)
+        payload = QueryEngine(published, seed=args.seed).execute(args.op, params)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _serve_config(args) -> ServiceConfig:
     # Environment first (REPRO_SERVICE_*), explicit flags override: the
     # same precedence every 12-factor deployment expects.
@@ -414,6 +536,7 @@ def _serve_config(args) -> ServiceConfig:
             ("jobs", args.jobs),
             ("max_pending", args.max_pending),
             ("kernels", args.kernels),
+            ("pubstore_dir", args.pubstore_dir),
         ]
         if value is not None
     }
@@ -432,7 +555,10 @@ def _cmd_serve(args) -> int:
         f"(workers={config.workers}, jobs={config.jobs}, "
         f"max_pending={config.max_pending}, k={config.k}, m={config.m})"
     )
-    print("endpoints: POST /anonymize, GET /jobs/<id>, GET /stats, GET /healthz")
+    endpoints = "POST /anonymize, GET /jobs/<id>, GET /stats, GET /healthz"
+    if config.pubstore_dir is not None:
+        endpoints += ", GET/POST /query"
+    print(f"endpoints: {endpoints}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -448,6 +574,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "generate": _cmd_generate,
     "audit": _cmd_audit,
+    "query": _cmd_query,
     "serve": _cmd_serve,
 }
 

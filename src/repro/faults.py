@@ -43,6 +43,10 @@ enumerate "crash at every point"):
 ``store.validate``        before the store's fingerprint/plan validation
 ``store.mutate``          before a delta's records mutation is committed
 ``store.compact``         before the store is compacted (``VACUUM``)
+``pubstore.open``         before a publication store is opened/created
+``pubstore.build``        at an index (re)build's start and again before its
+                          commit (a mid-build crash must roll back cleanly)
+``pubstore.query``        before each publication-store query op
 ========================  ====================================================
 
 Typical test usage::
@@ -91,6 +95,9 @@ INJECTION_POINTS = (
     "store.validate",
     "store.mutate",
     "store.compact",
+    "pubstore.open",
+    "pubstore.build",
+    "pubstore.query",
 )
 
 

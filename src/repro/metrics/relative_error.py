@@ -27,6 +27,24 @@ from repro.mining.itemsets import pair_supports
 DEFAULT_RANGE = (200, 220)
 
 
+def _as_publication(published) -> DisassociatedDataset:
+    """Coerce ``published`` to a :class:`DisassociatedDataset`.
+
+    Accepts the publication itself, a
+    :class:`~repro.pubstore.QueryEngine` (via ``publication_dataset()``)
+    or an open :class:`~repro.pubstore.PublicationStore` (via
+    ``load_publication()``) -- duck-typed so this module never imports
+    :mod:`repro.pubstore`, which sits above it in the dependency order.
+    """
+    loader = getattr(published, "publication_dataset", None)
+    if callable(loader):
+        return loader()
+    loader = getattr(published, "load_publication", None)
+    if callable(loader):
+        return loader()
+    return published
+
+
 def pair_relative_error(so: float, sp: float) -> float:
     """Relative error of one pair given its original and published supports."""
     if so == 0 and sp == 0:
@@ -96,12 +114,16 @@ def relative_error_reconstructed(
 
     With ``reconstructions > 1`` the *supports* are averaged across the
     reconstructions before the error is computed, exactly as in the paper's
-    re-r2 / re-r5 / re-r10 series.
+    re-r2 / re-r5 / re-r10 series.  ``published`` may also be a
+    :class:`~repro.pubstore.QueryEngine` or an open
+    :class:`~repro.pubstore.PublicationStore`; the publication is loaded
+    from the store's faithful serialized form, so the seeded sampling is
+    identical either way.
     """
     probe = list(terms) if terms is not None else terms_in_rank_range(original, rank_range)
     if len(probe) < 2:
         return 0.0
-    reconstructor = Reconstructor(published, seed=seed)
+    reconstructor = Reconstructor(_as_publication(published), seed=seed)
     original_pairs = pair_supports(original, probe)
     totals = {pair: 0.0 for pair in original_pairs}
     for _ in range(max(1, reconstructions)):
@@ -123,7 +145,14 @@ def relative_error_chunks(
     terms: Optional[Sequence] = None,
     rank_range: tuple[int, int] = DEFAULT_RANGE,
 ) -> float:
-    """re-a: published supports are the chunk-level lower bounds."""
+    """re-a: published supports are the chunk-level lower bounds.
+
+    ``published`` may be the :class:`DisassociatedDataset` itself, a
+    :class:`~repro.pubstore.QueryEngine`, or an open
+    :class:`~repro.pubstore.PublicationStore` -- all three expose
+    ``lower_bound_support`` and answer identically (the store from its
+    posting-list indexes instead of a chunk scan).
+    """
     probe = list(terms) if terms is not None else terms_in_rank_range(original, rank_range)
     if len(probe) < 2:
         return 0.0

@@ -1,0 +1,327 @@
+"""One query surface over a live publication or a publication store.
+
+:class:`QueryEngine` is what every caller above the storage layer talks
+to: the analyst helpers in :mod:`repro.analysis.queries`, the
+relative-error metrics, the service's ``/query`` endpoints and the
+``repro query`` CLI all accept an engine and never care whether it is
+backed by an in-memory :class:`~repro.core.clusters.DisassociatedDataset`
+(the equivalence oracle: every answer defined by the existing
+``analysis``/``metrics`` code paths) or by a
+:class:`~repro.pubstore.PublicationStore` (the indexed path).  The two
+backends are bit-for-bit interchangeable -- same ints, same floats, same
+orderings -- which the parity suite asserts on every workload.
+
+:meth:`QueryEngine.execute` adds the validated, JSON-safe op dispatch
+the HTTP and CLI front ends share: unknown ops, unknown parameters and
+malformed values raise :class:`~repro.exceptions.ParameterError` (the
+service maps it to a 400 with the established error-kind contract).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro import faults
+from repro.analysis import queries
+from repro.analysis.estimation import SupportEstimator
+from repro.core import deadline
+from repro.core.clusters import DisassociatedDataset
+from repro.core.dataset import TransactionDataset
+from repro.exceptions import ParameterError
+from repro.pubstore.estimation import StoreSupportEstimator
+from repro.pubstore.store import PublicationStore
+
+#: Sentinel distinguishing "seed not supplied" from "seed=None".
+_UNSET = object()
+
+
+class QueryEngine:
+    """Publication analytics over either backend, one answer contract.
+
+    Args:
+        source: a live :class:`DisassociatedDataset` (answers come from
+            the in-memory ``analysis`` oracle over its chunk dataset) or
+            an open :class:`PublicationStore` (answers come from the
+            store's inverted indexes and aggregates).
+        seed: default seed for reconstruction-based estimates.
+    """
+
+    def __init__(
+        self,
+        source: Union[DisassociatedDataset, PublicationStore],
+        *,
+        seed: Optional[int] = None,
+    ):
+        self._seed = seed
+        self._chunk_dataset: Optional[TransactionDataset] = None
+        self._loaded: Optional[DisassociatedDataset] = None
+        if isinstance(source, PublicationStore):
+            source.validate()
+            self._store: Optional[PublicationStore] = source
+            self._published: Optional[DisassociatedDataset] = None
+        elif isinstance(source, DisassociatedDataset):
+            self._store = None
+            self._published = source
+        else:
+            raise ParameterError(
+                "QueryEngine needs a DisassociatedDataset or a PublicationStore, "
+                f"got {type(source).__name__}"
+            )
+
+    # -- backend plumbing ------------------------------------------------ #
+    @property
+    def backend(self) -> str:
+        """``"store"`` or ``"memory"``, for reporting."""
+        return "store" if self._store is not None else "memory"
+
+    def _check(self) -> None:
+        """Fault/deadline gate shared by every query op."""
+        faults.check("pubstore.query")
+        deadline.check("pubstore.query")
+
+    def _dataset(self) -> TransactionDataset:
+        """The in-memory oracle's chunk dataset (built once per engine)."""
+        if self._chunk_dataset is None:
+            assert self._published is not None
+            self._chunk_dataset = self._published.chunk_dataset()
+        return self._chunk_dataset
+
+    def publication_dataset(self) -> DisassociatedDataset:
+        """The publication behind this engine (store reloads are cached)."""
+        if self._published is not None:
+            return self._published
+        if self._loaded is None:
+            assert self._store is not None
+            self._loaded = self._store.load_publication()
+        return self._loaded
+
+    def describe(self) -> dict:
+        """Identity and totals of the publication behind this engine."""
+        self._check()
+        if self._store is not None:
+            payload = self._store.describe()
+            payload["backend"] = "store"
+            return payload
+        published = self._published
+        assert published is not None
+        return {
+            "backend": "memory",
+            "k": published.k,
+            "m": published.m,
+            "total_records": published.total_records(),
+            "chunk_rows": len(self._dataset()),
+        }
+
+    # -- query ops ------------------------------------------------------- #
+    def top_terms(self, count: int = 10) -> List[Tuple[str, int]]:
+        """The ``count`` most supported published terms."""
+        self._check()
+        if self._store is not None:
+            return self._store.top_terms(count)
+        return queries.top_terms(self._dataset(), count)
+
+    def cooccurrence_count(self, terms: Iterable) -> int:
+        """Number of chunk-dataset rows containing all ``terms``."""
+        self._check()
+        if self._store is not None:
+            return self._store.support(terms)
+        return queries.cooccurrence_count(self._dataset(), terms)
+
+    def containment_ratio(self, terms: Iterable) -> float:
+        """Fraction of chunk-dataset rows containing all ``terms``."""
+        self._check()
+        if self._store is not None:
+            total = self._store.chunk_rows
+            if total == 0:
+                return 0.0
+            return self._store.support(terms) / total
+        return queries.containment_ratio(self._dataset(), terms)
+
+    def rule_confidence(
+        self, antecedent: Iterable, consequent: Iterable
+    ) -> Optional[float]:
+        """Confidence of ``antecedent -> consequent`` (None if undefined)."""
+        self._check()
+        if self._store is not None:
+            antecedent = frozenset(str(t) for t in antecedent)
+            consequent = frozenset(str(t) for t in consequent)
+            base = self._store.support(antecedent)
+            if base == 0:
+                return None
+            return self._store.support(antecedent | consequent) / base
+        return queries.rule_confidence(self._dataset(), antecedent, consequent)
+
+    def frequent_pairs(self, min_support: int) -> List[Tuple[Tuple, int]]:
+        """All term pairs with support >= ``min_support``, most frequent first."""
+        self._check()
+        if self._store is not None:
+            pairs = self._store.pairs_with_min_support(min_support)
+            pairs.sort(key=lambda pair: (-pair[1], pair[0]))
+            return pairs
+        return queries.frequent_pairs(self._dataset(), min_support)
+
+    def lower_bound(self, terms: Iterable) -> int:
+        """Guaranteed lower bound on the itemset's original support."""
+        self._check()
+        if self._store is not None:
+            return self._store.lower_bound_support(terms)
+        assert self._published is not None
+        return SupportEstimator(self._published, seed=self._seed).lower_bound(terms)
+
+    def lower_bound_support(self, terms: Iterable) -> int:
+        """Alias matching the :class:`DisassociatedDataset` method name.
+
+        Lets the relative-error metrics accept an engine anywhere they
+        accept a publication.
+        """
+        return self.lower_bound(terms)
+
+    def expected_support(self, terms: Iterable) -> float:
+        """Expected support under the independent-chunk probabilistic model."""
+        self._check()
+        if self._store is not None:
+            return StoreSupportEstimator(self._store, seed=self._seed).expected_support(
+                terms
+            )
+        assert self._published is not None
+        return SupportEstimator(self._published, seed=self._seed).expected_support(terms)
+
+    def reconstructed_support(
+        self,
+        terms: Iterable,
+        reconstructions: int = 5,
+        seed: Any = _UNSET,
+    ) -> float:
+        """Average support over sampled reconstructions (seed-deterministic)."""
+        self._check()
+        use_seed = self._seed if seed is _UNSET else seed
+        estimator = SupportEstimator(self.publication_dataset(), seed=use_seed)
+        return estimator.reconstructed_support(terms, reconstructions=reconstructions)
+
+    # -- validated dispatch (HTTP + CLI) --------------------------------- #
+    def execute(self, op: str, params: Optional[Mapping[str, Any]] = None) -> dict:
+        """Run one named query with validated parameters.
+
+        Returns a JSON-safe envelope ``{"op", "backend", "result"}``.
+        Unknown ops, unknown parameter names and malformed values raise
+        :class:`~repro.exceptions.ParameterError`.
+        """
+        spec = _OPS.get(str(op))
+        if spec is None:
+            raise ParameterError(
+                f"unknown query op {op!r}; available: {', '.join(sorted(_OPS))}"
+            )
+        supplied = dict(params or {})
+        unknown = set(supplied) - set(spec.params)
+        if unknown:
+            raise ParameterError(
+                f"unknown parameter(s) for {op!r}: {', '.join(sorted(unknown))}; "
+                f"accepted: {', '.join(sorted(spec.params)) or '(none)'}"
+            )
+        kwargs: Dict[str, Any] = {}
+        for name, (convert, required, default) in spec.params.items():
+            if name in supplied:
+                kwargs[name] = convert(name, supplied[name])
+            elif required:
+                raise ParameterError(f"query op {op!r} requires parameter {name!r}")
+            elif default is not _UNSET:
+                kwargs[name] = default
+        result = spec.run(self, kwargs)
+        return {"op": str(op), "backend": self.backend, "result": result}
+
+
+def _as_terms(name: str, value: Any) -> List[str]:
+    """Coerce a parameter to a list of term strings."""
+    if isinstance(value, str) or not isinstance(value, (list, tuple)):
+        raise ParameterError(
+            f"parameter {name!r} must be a list of terms, got {value!r}"
+        )
+    return [str(term) for term in value]
+
+
+def _as_int(name: str, value: Any) -> int:
+    """Coerce a parameter to an int."""
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise ParameterError(f"parameter {name!r} must be an integer, got {value!r}")
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise ParameterError(
+            f"parameter {name!r} must be an integer, got {value!r}"
+        ) from exc
+
+
+def _as_optional_int(name: str, value: Any) -> Optional[int]:
+    """Coerce a parameter to an int or ``None``."""
+    if value is None:
+        return None
+    return _as_int(name, value)
+
+
+class _OpSpec:
+    """One execute() op: parameter table plus the bound runner."""
+
+    def __init__(self, params: Dict[str, tuple], run: Callable):
+        self.params = params
+        self.run = run
+
+
+def _pairs_payload(pairs: List[Tuple[Tuple, int]]) -> List[list]:
+    """JSON-safe form of a frequent-pairs answer."""
+    return [[list(pair), support] for pair, support in pairs]
+
+
+def _top_terms_payload(terms: List[Tuple[str, int]]) -> List[list]:
+    """JSON-safe form of a top-terms answer."""
+    return [[term, support] for term, support in terms]
+
+
+_OPS: Dict[str, _OpSpec] = {
+    "describe": _OpSpec({}, lambda engine, kw: engine.describe()),
+    "top_terms": _OpSpec(
+        {"count": (_as_int, False, 10)},
+        lambda engine, kw: _top_terms_payload(engine.top_terms(**kw)),
+    ),
+    "cooccurrence_count": _OpSpec(
+        {"terms": (_as_terms, True, _UNSET)},
+        lambda engine, kw: engine.cooccurrence_count(**kw),
+    ),
+    "containment_ratio": _OpSpec(
+        {"terms": (_as_terms, True, _UNSET)},
+        lambda engine, kw: engine.containment_ratio(**kw),
+    ),
+    "rule_confidence": _OpSpec(
+        {
+            "antecedent": (_as_terms, True, _UNSET),
+            "consequent": (_as_terms, True, _UNSET),
+        },
+        lambda engine, kw: engine.rule_confidence(**kw),
+    ),
+    "frequent_pairs": _OpSpec(
+        {"min_support": (_as_int, True, _UNSET)},
+        lambda engine, kw: _pairs_payload(engine.frequent_pairs(**kw)),
+    ),
+    "lower_bound": _OpSpec(
+        {"terms": (_as_terms, True, _UNSET)},
+        lambda engine, kw: engine.lower_bound(**kw),
+    ),
+    "expected_support": _OpSpec(
+        {"terms": (_as_terms, True, _UNSET)},
+        lambda engine, kw: engine.expected_support(**kw),
+    ),
+    "reconstructed_support": _OpSpec(
+        {
+            "terms": (_as_terms, True, _UNSET),
+            "reconstructions": (_as_int, False, 5),
+            "seed": (_as_optional_int, False, _UNSET),
+        },
+        lambda engine, kw: engine.reconstructed_support(**kw),
+    ),
+}
+
+#: The ops ``execute`` (and therefore HTTP ``/query`` and ``repro query``)
+#: accept, in documentation order.
+QUERY_OPS = tuple(sorted(_OPS))
+
+
+__all__ = ["QueryEngine", "QUERY_OPS"]

@@ -1,0 +1,638 @@
+"""The persistent, indexed publication store.
+
+:class:`PublicationStore` is a single-file stdlib-SQLite database in the
+:class:`~repro.stream.ShardStore` style -- WAL journaling, explicit
+transaction boundaries, a versioned schema and a fingerprint-validated
+identity -- holding one disassociated publication in fully indexed form
+(see :mod:`repro.pubstore.schema` for the layout).  It serves two jobs:
+
+* **queries without scans** -- ``top_terms``, itemset supports,
+  frequent pairs and the :class:`~repro.analysis.SupportEstimator`
+  bounds answer from the inverted indexes and per-term aggregates, so
+  repeated analyst queries cost index lookups instead of a pass over
+  every published chunk;
+* **faithful reload** -- :meth:`load_publication` rebuilds the exact
+  :class:`~repro.core.clusters.DisassociatedDataset` (same cluster
+  tree, same chunk and sub-record order, same contribution order), so
+  anything the indexes cannot answer falls back to the in-memory path
+  with bit-for-bit identical results.
+
+Durability mirrors the shard store: a (re)build is **one** atomic
+transaction -- old rows out, new rows in, meta restamped, commit -- so a
+crash mid-build rolls back to the previous consistent snapshot and the
+next build simply runs again.  The ``generation`` meta slot is stamped
+by the builder (:class:`~repro.stream.IncrementalPipeline` passes the
+shard store's generation), which is what keeps a pubstore from ever
+being ahead of or behind the publication it indexes.  Faults and
+deadlines are honored at the ``pubstore.open`` / ``pubstore.build`` /
+``pubstore.query`` phase boundaries, so the resilience harness drives
+this store like every other subsystem.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro import faults
+from repro.core import deadline
+from repro.core.clusters import (
+    DisassociatedDataset,
+    JointCluster,
+    RecordChunk,
+    SharedChunk,
+    SimpleCluster,
+    TermChunk,
+    paused_gc,
+)
+from repro.exceptions import StoreError
+from repro.pubstore.schema import (
+    DATA_TABLES,
+    PUBSTORE_LOCK_NAME,
+    PUBSTORE_VERSION,
+    _SCHEMA,
+    publication_fingerprint,
+    pubstore_path,
+)
+from repro.pubstore.writer import build_rows, insert_rows
+
+PathLike = Union[str, Path]
+
+#: Default seconds an exclusive open waits for the writer lock before
+#: failing with :class:`~repro.exceptions.StoreError`.
+LOCK_TIMEOUT = 30.0
+
+
+def _marks(values: Sequence) -> str:
+    """A ``?,?,...`` placeholder list sized to ``values``."""
+    return ",".join("?" * len(values))
+
+
+class PublicationStore:
+    """One publication, persisted and indexed, in a single SQLite file.
+
+    Open is cheap (schema is idempotent); writes go through
+    :meth:`build`, which replaces the whole snapshot atomically.  All
+    methods raise :class:`~repro.exceptions.StoreError` on an unusable
+    or foreign database.  Use as a context manager (or call
+    :meth:`close`).
+
+    ``exclusive=True`` acquires an advisory writer lock (a write
+    transaction on the sibling ``publication.lock`` file) held until
+    :meth:`close`, serializing rebuilds across threads and processes;
+    read-only query opens stay lock-free.
+    """
+
+    def __init__(
+        self,
+        store_dir: PathLike,
+        *,
+        exclusive: bool = False,
+        lock_timeout: float = LOCK_TIMEOUT,
+    ):
+        faults.check("pubstore.open")
+        deadline.check("pubstore.open")
+        self.directory = Path(store_dir)
+        self._lock_db: Optional[sqlite3.Connection] = None
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot create publication store directory {store_dir}: {exc}"
+            ) from exc
+        self.path = pubstore_path(self.directory)
+        if exclusive:
+            self._acquire_lock(lock_timeout)
+        try:
+            # Autocommit mode, same as ShardStore: every transaction
+            # boundary below is explicit and deliberate.
+            self._db = sqlite3.connect(self.path, isolation_level=None)
+        except sqlite3.Error as exc:
+            self._release_lock()
+            raise StoreError(f"cannot open publication store {self.path}: {exc}") from exc
+        try:
+            self._db.execute("PRAGMA journal_mode=WAL").fetchone()
+            self._db.execute("PRAGMA synchronous=NORMAL")
+            self._db.executescript(_SCHEMA)
+        except sqlite3.Error as exc:
+            self._db.close()
+            self._release_lock()
+            raise StoreError(f"cannot open publication store {self.path}: {exc}") from exc
+
+    def _acquire_lock(self, timeout: float) -> None:
+        """Take the writer lock, waiting up to ``timeout`` seconds."""
+        try:
+            self._lock_db = sqlite3.connect(
+                self.directory / PUBSTORE_LOCK_NAME, isolation_level=None
+            )
+            self._lock_db.execute("PRAGMA busy_timeout=100")
+            give_up = time.monotonic() + timeout
+            while True:
+                try:
+                    self._lock_db.execute("BEGIN IMMEDIATE")
+                    return
+                except sqlite3.OperationalError as exc:
+                    if "lock" not in str(exc) and "busy" not in str(exc):
+                        raise
+                    deadline.check("pubstore.open")
+                    if time.monotonic() >= give_up:
+                        raise StoreError(
+                            f"another writer holds the lock on publication store "
+                            f"{self.path} (waited {timeout:.1f}s); rebuilds "
+                            "serialize per store"
+                        ) from None
+        except sqlite3.Error as exc:
+            self._release_lock()
+            raise StoreError(
+                f"cannot lock publication store {self.path}: {exc}"
+            ) from exc
+        except BaseException:
+            self._release_lock()
+            raise
+
+    def _release_lock(self) -> None:
+        """Drop the writer lock (no-op for read-only opens)."""
+        if self._lock_db is None:
+            return
+        try:
+            self._lock_db.close()  # closing rolls back the open transaction
+        except sqlite3.Error:  # pragma: no cover - defensive
+            pass
+        self._lock_db = None
+
+    # -- lifecycle ------------------------------------------------------- #
+    def __enter__(self) -> "PublicationStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the database connection and release the writer lock."""
+        self._db.close()
+        self._release_lock()
+
+    # -- meta ------------------------------------------------------------ #
+    def _meta(self, key: str) -> Optional[str]:
+        row = self._db.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return None if row is None else row[0]
+
+    def _set_meta(self, key: str, value: str) -> None:
+        self._db.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value)
+        )
+
+    def _meta_int(self, key: str) -> int:
+        value = self._meta(key)
+        if value is None:
+            raise StoreError(
+                f"publication store {self.path} has no {key!r} metadata; "
+                "the store was never built"
+            )
+        return int(value)
+
+    @property
+    def initialized(self) -> bool:
+        """Whether a publication has ever been committed into this store."""
+        return self._meta("built") == "1"
+
+    @property
+    def generation(self) -> int:
+        """The generation stamp the current snapshot was built from."""
+        value = self._meta("generation")
+        return 0 if value is None else int(value)
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """Content fingerprint of the stored publication's canonical JSON."""
+        return self._meta("fingerprint")
+
+    @property
+    def source(self) -> Optional[dict]:
+        """The identity of the pipeline run that built the snapshot, if any.
+
+        :class:`~repro.stream.IncrementalPipeline` stamps its run
+        fingerprint here so a refresh can tell "same publication, new
+        generation" apart from "someone pointed ``pubstore_dir`` at a
+        store built from a different run".
+        """
+        raw = self._meta("source")
+        if raw is None:
+            return None
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise StoreError(f"malformed source in {self.path}: {exc}") from exc
+
+    @property
+    def k(self) -> int:
+        """The ``k`` the stored publication guarantees."""
+        return self._meta_int("k")
+
+    @property
+    def m(self) -> int:
+        """The ``m`` the stored publication guarantees."""
+        return self._meta_int("m")
+
+    @property
+    def total_records(self) -> int:
+        """Number of original records represented by the publication."""
+        return self._meta_int("total_records")
+
+    @property
+    def total_subrecords(self) -> int:
+        """Number of published sub-records across all chunks."""
+        return self._meta_int("total_subrecords")
+
+    @property
+    def chunk_rows(self) -> int:
+        """Size of the publication's chunk dataset.
+
+        Sub-records plus one singleton row per term-chunk term --
+        exactly ``len(published.chunk_dataset())``, the denominator of
+        ``containment_ratio``.
+        """
+        return self._meta_int("chunk_rows")
+
+    def describe(self) -> dict:
+        """Operator-facing snapshot of the store's identity and totals."""
+        self._require_built()
+        return {
+            "path": str(self.path),
+            "version": int(self._meta("version") or 0),
+            "generation": self.generation,
+            "fingerprint": self.fingerprint,
+            "k": self.k,
+            "m": self.m,
+            "total_records": self.total_records,
+            "total_subrecords": self.total_subrecords,
+            "chunk_rows": self.chunk_rows,
+        }
+
+    # -- build ----------------------------------------------------------- #
+    @classmethod
+    def from_publication(
+        cls,
+        published: DisassociatedDataset,
+        store_dir: PathLike,
+        *,
+        generation: int = 0,
+        payload: Optional[dict] = None,
+        source: Optional[dict] = None,
+        lock_timeout: float = LOCK_TIMEOUT,
+    ) -> "PublicationStore":
+        """Build a store for ``published`` under ``store_dir`` and return it open."""
+        store = cls(store_dir, exclusive=True, lock_timeout=lock_timeout)
+        try:
+            store.build(
+                published, generation=generation, payload=payload, source=source
+            )
+        except BaseException:
+            store.close()
+            raise
+        return store
+
+    def build(
+        self,
+        published: DisassociatedDataset,
+        *,
+        generation: int = 0,
+        payload: Optional[dict] = None,
+        source: Optional[dict] = None,
+    ) -> None:
+        """(Re)index ``published`` into the store as one atomic snapshot.
+
+        The whole build -- clearing the previous snapshot, inserting
+        every row, restamping the meta header -- commits as a single
+        transaction: a crash at any instant leaves the *previous*
+        committed snapshot (or an unbuilt store) behind, never a half
+        index.  ``payload`` may pass a precomputed ``to_dict()`` form to
+        avoid serializing the publication twice; ``generation`` and
+        ``source`` stamp which upstream state the snapshot reflects.
+        """
+        faults.check("pubstore.build")
+        deadline.check("pubstore.build")
+        if payload is None:
+            payload = published.to_dict()
+        fingerprint = publication_fingerprint(payload)
+        with paused_gc():
+            builder = build_rows(published)
+        deadline.check("pubstore.build")
+        self._db.execute("BEGIN IMMEDIATE")
+        try:
+            for table in DATA_TABLES:
+                self._db.execute(f"DELETE FROM {table}")
+            derived = insert_rows(self._db, builder, published)
+            self._set_meta("version", str(PUBSTORE_VERSION))
+            self._set_meta("fingerprint", fingerprint)
+            self._set_meta("generation", str(int(generation)))
+            self._set_meta("source", json.dumps(source, sort_keys=True))
+            for key, value in derived.items():
+                self._set_meta(key, value)
+            self._set_meta("built", "1")
+            # A second injection point *inside* the transaction: the
+            # crash-during-index-build test arms it to prove a mid-build
+            # death rolls back to the previous consistent snapshot.
+            faults.check("pubstore.build")
+            self._db.execute("COMMIT")
+        except BaseException:
+            self._db.execute("ROLLBACK")
+            raise
+
+    # -- validation ------------------------------------------------------ #
+    def _require_built(self) -> None:
+        if not self.initialized:
+            raise StoreError(
+                f"publication store {self.path} holds no publication; "
+                "build it first (PublicationResult.save_store, "
+                "PublicationStore.from_publication, or an incremental run "
+                "with pubstore_dir set)"
+            )
+
+    def validate(self) -> None:
+        """Refuse a store this library version cannot read, or an unbuilt one."""
+        faults.check("pubstore.query")
+        deadline.check("pubstore.query")
+        version = self._meta("version")
+        if version is not None and version != str(PUBSTORE_VERSION):
+            raise StoreError(
+                f"publication store {self.path} has version {version!r}, "
+                f"this library reads version {PUBSTORE_VERSION}"
+            )
+        self._require_built()
+
+    # -- term lookups ---------------------------------------------------- #
+    def term_ids(self, terms: Iterable[str]) -> Dict[str, int]:
+        """Map known terms to their interned ids (unknown terms are absent)."""
+        wanted = sorted({str(term) for term in terms})
+        if not wanted:
+            return {}
+        rows = self._db.execute(
+            f"SELECT term, id FROM terms WHERE term IN ({_marks(wanted)})", wanted
+        ).fetchall()
+        return dict(rows)
+
+    # -- aggregate queries ----------------------------------------------- #
+    def top_terms(self, count: int = 10) -> List[Tuple[str, int]]:
+        """The ``count`` most supported terms from the per-term aggregates.
+
+        Same ordering contract as :func:`repro.analysis.top_terms`:
+        support descending, then term ascending (SQLite's default BINARY
+        collation on UTF-8 text sorts exactly like Python's ``str``
+        comparison, code point by code point).
+        """
+        self._require_built()
+        rows = self._db.execute(
+            "SELECT t.term, s.total FROM term_stats s"
+            " JOIN terms t ON t.id = s.term"
+            " ORDER BY s.total DESC, t.term ASC LIMIT ?",
+            (max(0, int(count)),),
+        ).fetchall()
+        return [(term, support) for term, support in rows]
+
+    def support(self, itemset: Iterable) -> int:
+        """Support of ``itemset`` in the publication's chunk dataset.
+
+        Matches ``published.chunk_dataset().support(itemset)`` case for
+        case: the empty itemset counts every chunk-dataset row, a single
+        term reads the per-term aggregate, and a larger itemset
+        intersects the term->sub-record postings.
+        """
+        self._require_built()
+        items = frozenset(str(term) for term in itemset)
+        if not items:
+            return self.chunk_rows
+        ids = self.term_ids(items)
+        if len(ids) < len(items):
+            return 0
+        if len(ids) == 1:
+            (tid,) = ids.values()
+            row = self._db.execute(
+                "SELECT total FROM term_stats WHERE term = ?", (tid,)
+            ).fetchone()
+            return 0 if row is None else int(row[0])
+        wanted = sorted(ids.values())
+        # Intersect posting lists rarest-first: scan the shortest list and
+        # point-look-up the rest on the (term, subrecord) primary key.
+        # CROSS JOIN pins that join order against the planner.
+        stats = dict(
+            self._db.execute(
+                f"SELECT term, chunk_support FROM term_stats"
+                f" WHERE term IN ({_marks(wanted)})",
+                wanted,
+            ).fetchall()
+        )
+        ordered = sorted(wanted, key=lambda tid: (stats.get(tid, 0), tid))
+        joins = " ".join(
+            f"CROSS JOIN postings p{i}"
+            f" ON p{i}.subrecord = p0.subrecord AND p{i}.term = ?"
+            for i in range(1, len(ordered))
+        )
+        row = self._db.execute(
+            f"SELECT COUNT(*) FROM postings p0 {joins} WHERE p0.term = ?",
+            (*ordered[1:], ordered[0]),
+        ).fetchone()
+        return int(row[0])
+
+    def lower_bound_support(self, itemset: Iterable) -> int:
+        """Provable lower bound on the original support of ``itemset``.
+
+        Identical to
+        :meth:`~repro.core.clusters.DisassociatedDataset.lower_bound_support`:
+        for non-empty itemsets it coincides with chunk-dataset
+        :meth:`support`; the empty itemset counts published sub-records
+        only (term-chunk terms contribute no sub-record).
+        """
+        self._require_built()
+        items = frozenset(str(term) for term in itemset)
+        if not items:
+            return self.total_subrecords
+        return self.support(items)
+
+    def pairs_with_min_support(
+        self, min_support: int
+    ) -> List[Tuple[Tuple[str, str], int]]:
+        """All term pairs whose chunk-dataset support is >= ``min_support``.
+
+        Unordered; :class:`~repro.pubstore.QueryEngine` applies the
+        oracle's ``(-support, pair)`` sort.
+        """
+        self._require_built()
+        rows = self._db.execute(
+            "SELECT ta.term, tb.term, p.support FROM pair_stats p"
+            " JOIN terms ta ON ta.id = p.a JOIN terms tb ON tb.id = p.b"
+            " WHERE p.support >= ?",
+            (int(min_support),),
+        ).fetchall()
+        return [((a, b), support) for a, b, support in rows]
+
+    # -- expected-support navigation ------------------------------------- #
+    def candidate_tops(self, term_ids: Iterable[int], size: int) -> List[int]:
+        """Top-level clusters whose full domain covers all ``size`` terms.
+
+        Ordered ascending by cluster id -- the pre-order walk ids make
+        that exactly the publication's top-level cluster order, so the
+        store-backed estimator sums per-cluster contributions in the
+        same order as the in-memory oracle.
+        """
+        wanted = sorted(set(term_ids))
+        rows = self._db.execute(
+            f"SELECT top FROM cluster_terms WHERE term IN ({_marks(wanted)})"
+            " GROUP BY top HAVING COUNT(*) = ? ORDER BY top",
+            (*wanted, size),
+        ).fetchall()
+        return [top for (top,) in rows]
+
+    def top_size(self, top: int) -> int:
+        """Published record count of a top-level cluster."""
+        row = self._db.execute(
+            "SELECT size FROM clusters WHERE id = ?", (top,)
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"publication store {self.path}: unknown cluster {top}")
+        return int(row[0])
+
+    def chunk_parts(
+        self, top: int, term_ids: Iterable[int]
+    ) -> List[Tuple[int, Set[int]]]:
+        """Per-chunk projections of an itemset inside one top-level cluster.
+
+        Returns ``(chunk_id, part)`` pairs -- ``part`` being the subset
+        of ``term_ids`` in that chunk's domain -- for every chunk with a
+        non-empty part, ordered by the estimator's enumeration ordinal
+        (``eord``): shared chunks in pre-order, then leaf record chunks.
+        """
+        wanted = sorted(set(term_ids))
+        rows = self._db.execute(
+            "SELECT ct.chunk, ct.term FROM chunk_terms ct"
+            " JOIN chunks c ON c.id = ct.chunk"
+            f" WHERE ct.top = ? AND ct.term IN ({_marks(wanted)})"
+            " ORDER BY c.eord",
+            (top, *wanted),
+        ).fetchall()
+        ordered: List[Tuple[int, Set[int]]] = []
+        for chunk, term in rows:
+            if ordered and ordered[-1][0] == chunk:
+                ordered[-1][1].add(term)
+            else:
+                ordered.append((chunk, {term}))
+        return ordered
+
+    def matching_count(self, chunk: int, part: Iterable[int]) -> int:
+        """How many of a chunk's sub-records contain every term in ``part``."""
+        wanted = sorted(set(part))
+        if len(wanted) == 1:
+            row = self._db.execute(
+                "SELECT COUNT(*) FROM postings WHERE chunk = ? AND term = ?",
+                (chunk, wanted[0]),
+            ).fetchone()
+            return int(row[0])
+        row = self._db.execute(
+            "SELECT COUNT(*) FROM ("
+            f"SELECT subrecord FROM postings WHERE chunk = ? AND term IN ({_marks(wanted)})"
+            " GROUP BY subrecord HAVING COUNT(*) = ?)",
+            (chunk, *wanted, len(wanted)),
+        ).fetchone()
+        return int(row[0])
+
+    def term_chunk_present(self, top: int, term_ids: Iterable[int]) -> Set[int]:
+        """Which of ``term_ids`` appear in the cluster's leaf term chunks."""
+        wanted = sorted(set(term_ids))
+        if not wanted:
+            return set()
+        rows = self._db.execute(
+            "SELECT DISTINCT term FROM term_chunks"
+            f" WHERE top = ? AND term IN ({_marks(wanted)})",
+            (top, *wanted),
+        ).fetchall()
+        return {term for (term,) in rows}
+
+    # -- faithful reload -------------------------------------------------- #
+    def load_publication(self) -> DisassociatedDataset:
+        """Rebuild the exact stored publication.
+
+        The reload preserves every load-bearing order -- top-level
+        cluster list, child order inside joints, chunk order inside
+        clusters, sub-record order inside chunks, contribution order
+        inside shared chunks -- so ``load_publication().to_dict()`` is
+        identical to the original publication's ``to_dict()`` and every
+        in-memory analysis over the reload matches the original
+        bit-for-bit.
+        """
+        self._require_built()
+        db = self._db
+        with paused_gc():
+            terms: Dict[int, str] = dict(db.execute("SELECT id, term FROM terms"))
+            sub_terms: Dict[int, List[str]] = defaultdict(list)
+            for tid, subrecord in db.execute("SELECT term, subrecord FROM postings"):
+                sub_terms[subrecord].append(terms[tid])
+            chunk_subs: Dict[int, List[FrozenSet[str]]] = defaultdict(list)
+            for sid, chunk in db.execute(
+                "SELECT id, chunk FROM subrecords ORDER BY chunk, ord"
+            ):
+                chunk_subs[chunk].append(frozenset(sub_terms.get(sid, ())))
+            chunk_domain: Dict[int, Set[str]] = defaultdict(set)
+            for tid, chunk in db.execute("SELECT term, chunk FROM chunk_terms"):
+                chunk_domain[chunk].add(terms[tid])
+            contribs: Dict[int, Dict[str, int]] = defaultdict(dict)
+            for chunk, label, count in db.execute(
+                "SELECT chunk, label, count FROM contributions ORDER BY chunk, ord"
+            ):
+                contribs[chunk][label] = int(count)
+            chunks_by_cluster: Dict[int, List[RecordChunk]] = defaultdict(list)
+            for chunk_id, cluster, kind in db.execute(
+                "SELECT id, cluster, kind FROM chunks ORDER BY cluster, ord"
+            ):
+                domain = frozenset(chunk_domain.get(chunk_id, ()))
+                subrecords = chunk_subs.get(chunk_id, [])
+                if kind == "shared":
+                    built: RecordChunk = SharedChunk._from_normalized(
+                        domain, subrecords, contribs.get(chunk_id, {})
+                    )
+                else:
+                    built = RecordChunk._from_normalized(domain, subrecords)
+                chunks_by_cluster[cluster].append(built)
+            term_chunk_terms: Dict[int, Set[str]] = defaultdict(set)
+            for tid, cluster in db.execute("SELECT term, cluster FROM term_chunks"):
+                term_chunk_terms[cluster].add(terms[tid])
+            cluster_rows = db.execute(
+                "SELECT id, parent, ord, kind, label, size FROM clusters ORDER BY id"
+            ).fetchall()
+            children_of: Dict[Optional[int], List[Tuple[int, int]]] = defaultdict(list)
+            built_clusters: Dict[int, Union[SimpleCluster, JointCluster]] = {}
+            # Pre-order ids guarantee every child id exceeds its parent's,
+            # so a reverse walk always finds children already built.
+            for cid, parent, ord_, kind, label, size in reversed(cluster_rows):
+                if kind == "joint":
+                    children = [
+                        built_clusters[child_id]
+                        for _, child_id in sorted(children_of.get(cid, []))
+                    ]
+                    built_clusters[cid] = JointCluster(
+                        children, chunks_by_cluster.get(cid, []), label=label
+                    )
+                else:
+                    built_clusters[cid] = SimpleCluster._from_normalized(
+                        int(size),
+                        chunks_by_cluster.get(cid, []),
+                        TermChunk(frozenset(term_chunk_terms.get(cid, ()))),
+                        label,
+                        None,
+                    )
+                children_of[parent].append((ord_, cid))
+            tops = [
+                built_clusters[cid] for _, cid in sorted(children_of.get(None, []))
+            ]
+            return DisassociatedDataset(tops, k=self.k, m=self.m)
+
+    def verify_against(self, published: DisassociatedDataset) -> bool:
+        """Whether the stored fingerprint matches ``published``'s content."""
+        self._require_built()
+        return self.fingerprint == publication_fingerprint(published.to_dict())
+
+
+__all__ = ["PublicationStore", "LOCK_TIMEOUT"]

@@ -1,0 +1,226 @@
+"""Decompose a publication into the store's relational rows.
+
+The writer walks a :class:`~repro.core.clusters.DisassociatedDataset`
+once and produces every table's rows, including the two orderings the
+query engine depends on:
+
+* ``ord`` -- the chunk's position inside its owning cluster, used by
+  :meth:`PublicationStore.load_publication` to rebuild the exact tree;
+* ``eord`` -- the position in the enumeration order
+  :meth:`~repro.analysis.SupportEstimator.expected_support` visits the
+  top-level cluster's chunks in (all shared chunks in pre-order, then
+  every leaf's record chunks).  Persisting it lets the store-backed
+  estimator multiply its per-chunk probabilities in exactly the same
+  order as the in-memory oracle, keeping the floats bit-for-bit equal.
+
+The aggregates (``term_stats``, ``pair_stats``) are accumulated during
+the same walk, so building the store is a single pass over the
+publication regardless of how many queries it later serves.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from itertools import combinations
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.clusters import DisassociatedDataset, JointCluster, RecordChunk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import sqlite3
+
+
+class _RowBuilder:
+    """Accumulates every table's rows during one publication walk."""
+
+    def __init__(self) -> None:
+        self.term_ids: Dict[str, int] = {}
+        self.cluster_rows: List[tuple] = []
+        self.chunk_rows: List[list] = []
+        self.chunk_term_rows: List[tuple] = []
+        self.subrecord_rows: List[tuple] = []
+        self.posting_rows: List[tuple] = []
+        self.term_chunk_rows: List[tuple] = []
+        self.contribution_rows: List[tuple] = []
+        self.chunk_support: Counter = Counter()
+        self.term_chunk_count: Counter = Counter()
+        self.pair_counts: Counter = Counter()
+        self.cluster_term_pairs: set = set()
+        # eord assignment: per top-level cluster, shared chunks (walk
+        # order == iter_shared_chunks pre-order) then record chunks
+        # (walk order == leaves() DFS order).
+        self.shared_by_top: Dict[int, List[int]] = defaultdict(list)
+        self.record_by_top: Dict[int, List[int]] = defaultdict(list)
+        self.total_subrecords = 0
+        self.total_term_chunk_terms = 0
+        self._next_cluster = 1
+        self._next_chunk = 1
+        self._next_subrecord = 1
+
+    def term_id(self, term: str) -> int:
+        """Intern ``term`` and return its id."""
+        tid = self.term_ids.get(term)
+        if tid is None:
+            tid = len(self.term_ids) + 1
+            self.term_ids[term] = tid
+        return tid
+
+    def add_chunk(
+        self, chunk: RecordChunk, owner: int, top: int, ord_: int, kind: str
+    ) -> int:
+        """Emit one record/shared chunk's rows; returns the chunk id."""
+        chunk_id = self._next_chunk
+        self._next_chunk += 1
+        # eord is assigned after the walk; keep a mutable placeholder.
+        self.chunk_rows.append([chunk_id, owner, top, ord_, 0, kind])
+        for term in chunk.domain:
+            tid = self.term_id(term)
+            self.chunk_term_rows.append((tid, chunk_id, top))
+            self.cluster_term_pairs.add((tid, top))
+        for position, subrecord in enumerate(chunk.subrecords):
+            subrecord_id = self._next_subrecord
+            self._next_subrecord += 1
+            self.total_subrecords += 1
+            self.subrecord_rows.append((subrecord_id, chunk_id, position))
+            terms = sorted(subrecord)
+            for term in terms:
+                tid = self.term_id(term)
+                self.posting_rows.append((tid, subrecord_id, chunk_id))
+                self.chunk_support[tid] += 1
+            for first, second in combinations(terms, 2):
+                self.pair_counts[(first, second)] += 1
+        contributions = getattr(chunk, "contributions", None)
+        if contributions:
+            for position, (label, count) in enumerate(contributions.items()):
+                self.contribution_rows.append(
+                    (chunk_id, position, str(label), int(count))
+                )
+        return chunk_id
+
+    def walk(self, cluster, parent: Optional[int], top: Optional[int], ord_: int) -> int:
+        """Emit ``cluster``'s subtree in pre-order; returns its cluster id."""
+        cluster_id = self._next_cluster
+        self._next_cluster += 1
+        my_top = top if top is not None else cluster_id
+        if isinstance(cluster, JointCluster):
+            self.cluster_rows.append(
+                (cluster_id, parent, my_top, ord_, "joint", cluster.label, cluster.size)
+            )
+            for position, chunk in enumerate(cluster.shared_chunks):
+                chunk_id = self.add_chunk(chunk, cluster_id, my_top, position, "shared")
+                self.shared_by_top[my_top].append(chunk_id)
+            for position, child in enumerate(cluster.children):
+                self.walk(child, cluster_id, my_top, position)
+        else:
+            self.cluster_rows.append(
+                (cluster_id, parent, my_top, ord_, "simple", cluster.label, cluster.size)
+            )
+            for position, chunk in enumerate(cluster.record_chunks):
+                chunk_id = self.add_chunk(chunk, cluster_id, my_top, position, "record")
+                self.record_by_top[my_top].append(chunk_id)
+            for term in cluster.term_chunk.terms:
+                tid = self.term_id(term)
+                self.term_chunk_rows.append((tid, cluster_id, my_top))
+                self.term_chunk_count[tid] += 1
+                self.cluster_term_pairs.add((tid, my_top))
+                self.total_term_chunk_terms += 1
+        return cluster_id
+
+    def assign_eord(self) -> None:
+        """Stamp each chunk's estimation ordinal (shared first, then record)."""
+        eord_of: Dict[int, int] = {}
+        tops = set(self.shared_by_top) | set(self.record_by_top)
+        for top in tops:
+            ordered = self.shared_by_top.get(top, []) + self.record_by_top.get(top, [])
+            for position, chunk_id in enumerate(ordered):
+                eord_of[chunk_id] = position
+        for row in self.chunk_rows:
+            row[4] = eord_of[row[0]]
+
+
+def build_rows(published: DisassociatedDataset) -> _RowBuilder:
+    """Walk ``published`` and return every table's rows."""
+    builder = _RowBuilder()
+    for position, cluster in enumerate(published.clusters):
+        builder.walk(cluster, None, None, position)
+    builder.assign_eord()
+    return builder
+
+
+def insert_rows(
+    db: "sqlite3.Connection", builder: _RowBuilder, published: DisassociatedDataset
+) -> Dict[str, str]:
+    """Bulk-insert the builder's rows; returns the data-derived meta entries.
+
+    Must be called inside an open transaction: the caller (the store)
+    owns BEGIN/COMMIT so a crash mid-build rolls back to the previous
+    consistent snapshot instead of leaving half an index behind.
+    """
+    db.executemany(
+        "INSERT INTO terms (id, term) VALUES (?, ?)",
+        ((tid, term) for term, tid in builder.term_ids.items()),
+    )
+    db.executemany(
+        "INSERT INTO clusters (id, parent, top, ord, kind, label, size)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?)",
+        builder.cluster_rows,
+    )
+    db.executemany(
+        "INSERT INTO chunks (id, cluster, top, ord, eord, kind)"
+        " VALUES (?, ?, ?, ?, ?, ?)",
+        builder.chunk_rows,
+    )
+    db.executemany(
+        "INSERT INTO chunk_terms (term, chunk, top) VALUES (?, ?, ?)",
+        builder.chunk_term_rows,
+    )
+    db.executemany(
+        "INSERT INTO subrecords (id, chunk, ord) VALUES (?, ?, ?)",
+        builder.subrecord_rows,
+    )
+    db.executemany(
+        "INSERT INTO postings (term, subrecord, chunk) VALUES (?, ?, ?)",
+        builder.posting_rows,
+    )
+    db.executemany(
+        "INSERT INTO term_chunks (term, cluster, top) VALUES (?, ?, ?)",
+        builder.term_chunk_rows,
+    )
+    db.executemany(
+        "INSERT INTO cluster_terms (term, top) VALUES (?, ?)",
+        sorted(builder.cluster_term_pairs),
+    )
+    db.executemany(
+        "INSERT INTO term_stats (term, chunk_support, term_chunk_count, total)"
+        " VALUES (?, ?, ?, ?)",
+        (
+            (
+                tid,
+                builder.chunk_support.get(tid, 0),
+                builder.term_chunk_count.get(tid, 0),
+                builder.chunk_support.get(tid, 0) + builder.term_chunk_count.get(tid, 0),
+            )
+            for tid in builder.term_ids.values()
+        ),
+    )
+    db.executemany(
+        "INSERT INTO pair_stats (a, b, support) VALUES (?, ?, ?)",
+        (
+            (builder.term_ids[a], builder.term_ids[b], support)
+            for (a, b), support in builder.pair_counts.items()
+        ),
+    )
+    db.executemany(
+        "INSERT INTO contributions (chunk, ord, label, count) VALUES (?, ?, ?, ?)",
+        builder.contribution_rows,
+    )
+    return {
+        "k": str(published.k),
+        "m": str(published.m),
+        "total_records": str(published.total_records()),
+        "total_subrecords": str(builder.total_subrecords),
+        "chunk_rows": str(builder.total_subrecords + builder.total_term_chunk_terms),
+    }
+
+
+__all__ = ["build_rows", "insert_rows"]

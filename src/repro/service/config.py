@@ -163,6 +163,13 @@ class ServiceConfig:
             like ``spill_dir``, the location is the store's identity, not a
             fingerprinted parameter.  ``None`` (default): delta requests
             are rejected.
+        pubstore_dir: directory of the indexed publication store
+            (:mod:`repro.pubstore`).  Required by
+            :meth:`~repro.service.AnonymizationService.query` and the HTTP
+            ``/query`` endpoints; delta requests additionally refresh the
+            store's indexes on every publish (generation-stamped against
+            the shard store).  ``None`` (default): query requests are
+            rejected.
         reuse_vocabulary: share one shard-lifetime vocabulary across a
             shard's windows (output-invariant; see :mod:`repro.stream`).
         auto_stream_threshold: record count above which an ``"auto"``
@@ -210,6 +217,7 @@ class ServiceConfig:
     shard_strategy: str = "hash"
     spill_dir: Optional[str] = None
     store_dir: Optional[str] = None
+    pubstore_dir: Optional[str] = None
     reuse_vocabulary: bool = True
     checkpoint: Optional[bool] = None
     auto_stream_threshold: Optional[int] = None
@@ -226,6 +234,8 @@ class ServiceConfig:
             object.__setattr__(self, "spill_dir", str(self.spill_dir))
         if self.store_dir is not None:
             object.__setattr__(self, "store_dir", str(self.store_dir))
+        if self.pubstore_dir is not None:
+            object.__setattr__(self, "pubstore_dir", str(self.pubstore_dir))
         # Accept the retry policy in any of its serialized shapes, so
         # from_dict/from_env round-trip without the caller pre-parsing.
         if isinstance(self.retry, str):
@@ -293,6 +303,7 @@ class ServiceConfig:
             strategy=self.shard_strategy,
             spill_dir=self.spill_dir,
             store_dir=self.store_dir,
+            pubstore_dir=self.pubstore_dir,
             reuse_vocabulary=self.reuse_vocabulary,
             checkpoint=self.checkpoint,
         )
@@ -404,7 +415,9 @@ _OPTIONAL_INT_FIELDS = frozenset({"max_join_size", "auto_stream_threshold"})
 _BOOL_FIELDS = frozenset({"refine", "verify", "reuse_vocabulary"})
 _OPTIONAL_BOOL_FIELDS = frozenset({"checkpoint"})
 _OPTIONAL_FLOAT_FIELDS = frozenset({"default_deadline"})
-_OPTIONAL_STR_FIELDS = frozenset({"kernels", "spill_dir", "store_dir"})
+_OPTIONAL_STR_FIELDS = frozenset(
+    {"kernels", "spill_dir", "store_dir", "pubstore_dir"}
+)
 
 
 def _parse_env_value(name: str, raw: str):

@@ -21,6 +21,18 @@ Endpoints:
 * ``GET /stats`` -- :meth:`AnonymizationService.stats` verbatim: request
   and queue-wait latency histograms, per-phase seconds, queue depth,
   worker utilization.
+* ``GET /query`` / ``POST /query`` -- analysis queries answered from the
+  configured :class:`~repro.pubstore.PublicationStore` indexes
+  (``pubstore_dir``) without touching the anonymization workers.  The GET
+  shape is query-string driven: ``?op=top_terms&count=5``,
+  ``?op=cooccurrence_count&term=a&term=b`` (``term``, ``antecedent`` and
+  ``consequent`` repeat; ``count``, ``min_support``, ``reconstructions``
+  and ``seed`` are integers).  The POST shape carries the same fields as
+  a JSON body: ``{"op": "frequent_pairs", "min_support": 10}``.  Both
+  answer :meth:`QueryEngine.execute <repro.pubstore.QueryEngine.execute>`'s
+  payload verbatim; a service without ``pubstore_dir`` answers ``400``,
+  a store that has not been built yet ``409`` (kind
+  ``checkpoint_conflict``).
 * ``GET /healthz`` -- liveness: ``200`` while the service accepts work,
   ``503`` once it is closed.
 
@@ -56,6 +68,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from itertools import count
 from typing import Optional
+from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import (
     CheckpointError,
@@ -203,6 +216,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._handle_healthz()
             elif path == "/stats":
                 self._send_json(200, self.service.stats())
+            elif path == "/query":
+                self._handle_query_get()
             elif path.startswith("/jobs/"):
                 self._handle_job(path[len("/jobs/"):])
             elif path in ("/anonymize",):
@@ -228,12 +243,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         """Serve ``POST /anonymize`` (sync and async job submission)."""
         try:
             path = self.path.split("?", 1)[0].rstrip("/")
-            if path != "/anonymize":
+            if path == "/anonymize":
+                self._handle_anonymize(self._read_json_body())
+            elif path == "/query":
+                self._handle_query_post(self._read_json_body())
+            else:
                 self._send_json(
                     404, {"error": f"unknown path {path!r}", "kind": "not_found"}
                 )
-                return
-            self._handle_anonymize(self._read_json_body())
         except _HttpError as exc:
             self._send_json(exc.status, {"error": exc.message, "kind": exc.kind})
         except BrokenPipeError:
@@ -244,6 +261,58 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             )
 
     # -- endpoints ------------------------------------------------------- #
+    #: ``GET /query`` parameters parsed as integers.
+    _QUERY_INT_PARAMS = ("count", "min_support", "reconstructions", "seed")
+
+    #: ``GET /query`` parameters that repeat to form term lists (the
+    #: singular ``term`` feeds the engine's ``terms`` parameter).
+    _QUERY_TERM_PARAMS = ("term", "antecedent", "consequent")
+
+    def _handle_query_get(self) -> None:
+        query = urlsplit(self.path).query
+        fields = parse_qs(query, keep_blank_values=True)
+        ops = fields.pop("op", None)
+        if not ops or len(ops) != 1:
+            raise _HttpError(400, 'exactly one "op" query parameter is required')
+        params: dict = {}
+        for name in self._QUERY_TERM_PARAMS:
+            values = fields.pop(name, None)
+            if values is not None:
+                params["terms" if name == "term" else name] = values
+        for name in self._QUERY_INT_PARAMS:
+            values = fields.pop(name, None)
+            if values is None:
+                continue
+            if len(values) != 1:
+                raise _HttpError(400, f'"{name}" must appear at most once')
+            try:
+                params[name] = int(values[0])
+            except ValueError:
+                raise _HttpError(
+                    400, f'"{name}" must be an integer, got {values[0]!r}'
+                ) from None
+        if fields:
+            unknown = ", ".join(sorted(fields))
+            raise _HttpError(400, f"unknown query parameters: {unknown}")
+        self._run_query(ops[0], params)
+
+    def _handle_query_post(self, payload: dict) -> None:
+        op = payload.pop("op", None)
+        if not isinstance(op, str):
+            raise _HttpError(400, 'body must carry a string "op"')
+        self._run_query(op, payload)
+
+    def _run_query(self, op: str, params: dict) -> None:
+        try:
+            result = self.service.query(op, params)
+        except ReproError as exc:
+            status, kind, headers = classify_error(exc)
+            self._send_json(
+                status, {"error": str(exc), "kind": kind}, headers=headers
+            )
+            return
+        self._send_json(200, result)
+
     def _handle_healthz(self) -> None:
         if self.service.closed:
             self._send_json(503, {"status": "closed"})

@@ -147,6 +147,8 @@ class ServiceMetrics:
         self._deadline_exceeded = 0
         self._retries_exhausted = 0
         self._engines_rebuilt = 0
+        self._queries = 0
+        self.query_latency = LatencyHistogram()
         self._phase_seconds: dict[str, float] = {}
         self._worker_busy: dict[str, float] = {}
 
@@ -223,6 +225,12 @@ class ServiceMetrics:
         with self._lock:
             self._engines_rebuilt += 1
 
+    def query_finished(self, seconds: float) -> None:
+        """A publication-store query finished (success or failure)."""
+        with self._lock:
+            self._queries += 1
+            self.query_latency.observe(seconds)
+
     # -- reading ---------------------------------------------------------- #
     @property
     def requests_completed(self) -> int:
@@ -260,6 +268,10 @@ class ServiceMetrics:
                 "latency": {
                     "request_seconds": self.request_latency.snapshot(),
                     "queue_wait_seconds": self.queue_wait.snapshot(),
+                    "query_seconds": self.query_latency.snapshot(),
+                },
+                "queries": {
+                    "served": self._queries,
                 },
                 "phases": {
                     "seconds": dict(sorted(self._phase_seconds.items())),

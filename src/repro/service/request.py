@@ -194,6 +194,22 @@ class PublicationResult:
         write_disassociated_json(self.publication, path)
         return path
 
+    def save_store(self, path: PathLike):
+        """Persist the publication as an indexed, queryable store.
+
+        Builds (or atomically replaces) a
+        :class:`~repro.pubstore.PublicationStore` under ``path`` and
+        returns it **open**, so the caller can query immediately or
+        ``close()`` it for later ``repro query`` / HTTP ``/query`` use.
+        The serialized form cached by :meth:`to_dict` is reused, so
+        saving both JSON and a store serializes the publication once.
+        """
+        from repro.pubstore import PublicationStore
+
+        return PublicationStore.from_publication(
+            self.publication, path, payload=self.to_dict()
+        )
+
     def metrics(
         self,
         original: Optional[TransactionDataset] = None,

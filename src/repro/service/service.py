@@ -361,6 +361,45 @@ class AnonymizationService:
             # engine is what rejoins the pool.
             self._idle.put(lease.engine)
 
+    def query(self, op: str, params: Optional[dict] = None) -> dict:
+        """Run one analytics query against the configured publication store.
+
+        ``op`` names a :class:`~repro.pubstore.QueryEngine` operation
+        (``top_terms``, ``cooccurrence_count``, ``containment_ratio``,
+        ``rule_confidence``, ``frequent_pairs``, ``lower_bound``,
+        ``expected_support``, ``reconstructed_support``, ``describe``);
+        ``params`` carries its parameters.  Answers come from the indexed
+        store under ``config.pubstore_dir`` -- bit-for-bit what the
+        in-memory ``analysis`` helpers would compute over the same
+        publication.  Queries execute on the caller's thread (they are
+        index lookups, not anonymization runs) against a per-call store
+        handle, so they never contend with the engine pool; the
+        configured ``default_deadline`` still applies.
+
+        Raises :class:`~repro.exceptions.ParameterError` for a missing
+        ``pubstore_dir`` or a malformed op/parameters, and
+        :class:`~repro.exceptions.StoreError` for an unbuilt or foreign
+        store (the HTTP front door maps these to 400 and 409).
+        """
+        self._check_open()
+        if self.config.pubstore_dir is None:
+            raise ParameterError(
+                "query requires ServiceConfig.pubstore_dir: point it at a "
+                "directory populated by PublicationResult.save_store or by "
+                "an incremental run with pubstore_dir set"
+            )
+        from repro.pubstore import PublicationStore, QueryEngine
+
+        budget = self.config.default_deadline
+        query_deadline = deadline_mod.Deadline(budget) if budget is not None else None
+        start = time.perf_counter()
+        try:
+            with deadline_mod.scope(query_deadline):
+                with PublicationStore(self.config.pubstore_dir) as store:
+                    return QueryEngine(store).execute(op, params)
+        finally:
+            self._metrics.query_finished(time.perf_counter() - start)
+
     def submit(
         self,
         request,

@@ -83,7 +83,9 @@ _EXCLUDED_PARAM_FIELDS = frozenset({"jobs", "kernels"})
 #: Stream fields excluded from the fingerprint (the directories are the
 #: checkpoint's/store's identity, not part of it; the switch toggles
 #: durability).
-_EXCLUDED_STREAM_FIELDS = frozenset({"spill_dir", "checkpoint", "store_dir"})
+_EXCLUDED_STREAM_FIELDS = frozenset(
+    {"spill_dir", "checkpoint", "store_dir", "pubstore_dir"}
+)
 
 
 def _json_safe(value):

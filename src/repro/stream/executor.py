@@ -137,6 +137,14 @@ class StreamParams:
             long-lived store that delta runs (record appends/deletes)
             re-anonymize incrementally.  Like ``spill_dir``, the location
             is the store's identity, not part of its parameter fingerprint.
+        pubstore_dir: directory of the indexed publication store
+            (:mod:`repro.pubstore`).  When set,
+            :class:`~repro.stream.store.IncrementalPipeline` refreshes the
+            store's indexes on every delta publish, stamped with the shard
+            store's generation so the queryable snapshot is never ahead of
+            or behind the publication it serves.  Like ``store_dir``, the
+            location is the store's identity, not part of its parameter
+            fingerprint.
     """
 
     shards: int = DEFAULT_SHARDS
@@ -146,6 +154,7 @@ class StreamParams:
     reuse_vocabulary: bool = True
     checkpoint: Optional[bool] = None
     store_dir: Optional[PathLike] = None
+    pubstore_dir: Optional[PathLike] = None
 
     def __post_init__(self):
         if self.shards < 1:

@@ -678,6 +678,8 @@ class IncrementalReport:
     store_seconds: float = 0.0
     merge_seconds: float = 0.0
     verify_seconds: float = 0.0
+    pubstore_seconds: float = 0.0
+    pubstore_refreshed: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -690,6 +692,7 @@ class IncrementalReport:
             + self.store_seconds
             + self.merge_seconds
             + self.verify_seconds
+            + self.pubstore_seconds
         )
 
     def phase_timings(self) -> dict:
@@ -702,6 +705,7 @@ class IncrementalReport:
             "store_seconds": self.store_seconds,
             "merge_seconds": self.merge_seconds,
             "verify_seconds": self.verify_seconds,
+            "pubstore_seconds": self.pubstore_seconds,
             "total_seconds": self.total_seconds,
         }
 
@@ -913,6 +917,10 @@ class IncrementalPipeline:
             published = DisassociatedDataset.from_dict(json.loads(stored[1]))
             report.shard_windows = [0] * self.stream.shards
             _fill_report(report, published)
+            # A crash between the publication commit and the pubstore
+            # refresh leaves the pubstore one generation behind; the
+            # no-op path heals it (and is itself a no-op when fresh).
+            self._refresh_pubstore(published, generation, fingerprint, report)
             return published
 
         clusters = self._reconcile_windows(store, report)
@@ -935,13 +943,53 @@ class IncrementalPipeline:
         report.verify_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        store.put_publication(
-            generation, json.dumps(merged.to_dict(), separators=(",", ":"))
-        )
+        payload = merged.to_dict()
+        store.put_publication(generation, json.dumps(payload, separators=(",", ":")))
         report.store_seconds += time.perf_counter() - start
 
         _fill_report(report, merged)
+        self._refresh_pubstore(merged, generation, fingerprint, report, payload=payload)
         return merged
+
+    def _refresh_pubstore(
+        self,
+        published: DisassociatedDataset,
+        generation: int,
+        fingerprint: dict,
+        report: IncrementalReport,
+        payload: Optional[dict] = None,
+    ) -> None:
+        """Bring the queryable publication store in step with this run.
+
+        No-op unless ``stream.pubstore_dir`` is configured.  The pubstore
+        snapshot is stamped with the shard store's generation and this
+        run's parameter fingerprint; a snapshot that already carries both
+        is current and is left untouched (the common no-op delta), while
+        any mismatch -- a fresh delta, a crash between the publication
+        commit and the previous refresh, or a directory that belonged to
+        a different run -- triggers one atomic rebuild.  The shard
+        store's advisory lock is still held here, so refreshes serialize
+        with the runs that produce them.
+        """
+        if self.stream.pubstore_dir is None:
+            return
+        from repro.pubstore import PublicationStore
+
+        start = time.perf_counter()
+        with PublicationStore(self.stream.pubstore_dir, exclusive=True) as pub:
+            if not (
+                pub.initialized
+                and pub.generation == generation
+                and pub.source == fingerprint
+            ):
+                pub.build(
+                    published,
+                    generation=generation,
+                    payload=payload,
+                    source=fingerprint,
+                )
+                report.pubstore_refreshed = True
+        report.pubstore_seconds += time.perf_counter() - start
 
     def _planner(self, store: ShardStore):
         """The routing planner in effect for this run."""
